@@ -1,0 +1,6 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def duration_or(default, override):
+    """Pick the experiment duration, honouring the --repro-duration override."""
+    return override if override is not None else default

@@ -1,0 +1,22 @@
+"""Figure 3 — growth of the AVMM log and an equivalent VMware log over time."""
+
+from _bench_utils import duration_or
+
+from repro.experiments import fig3_log_growth
+
+
+def test_fig3_log_growth(benchmark, repro_duration):
+    duration = duration_or(60.0, repro_duration)
+    result = benchmark.pedantic(fig3_log_growth.run_log_growth,
+                                kwargs={"duration": duration, "num_players": 3,
+                                        "sample_interval": duration / 6.0},
+                                rounds=1, iterations=1)
+    print()
+    print("minutes  AVMM log (MB)  equivalent VMware log (MB)")
+    for (minutes, avmm_mb), (_, vmware_mb) in zip(result.avmm_series,
+                                                  result.vmware_series):
+        print(f"{minutes:7.2f}  {avmm_mb:13.2f}  {vmware_mb:26.2f}")
+    print(f"steady-state growth: AVMM {result.avmm_mb_per_minute:.2f} MB/min, "
+          f"VMware {result.vmware_mb_per_minute:.2f} MB/min")
+    # Shape: both logs grow, and the AVMM log is the larger one.
+    assert result.avmm_mb_per_minute > result.vmware_mb_per_minute > 0

@@ -1,0 +1,23 @@
+"""Figure 4 — average log growth by content and compressed size."""
+
+from _bench_utils import duration_or
+
+from repro.experiments import fig4_log_content
+
+
+def test_fig4_log_content(benchmark, repro_duration):
+    duration = duration_or(60.0, repro_duration)
+    result = benchmark.pedantic(fig4_log_content.run_log_content,
+                                kwargs={"duration": duration, "num_players": 3},
+                                rounds=1, iterations=1)
+    print()
+    print("category          MB/minute  fraction")
+    for category, rate in sorted(result.mb_per_minute_by_category.items()):
+        print(f"{category:16s}  {rate:9.3f}  {result.breakdown.fraction(category) * 100:6.1f}%")
+    print(f"{'total':16s}  {result.total_mb_per_minute:9.3f}  100.0%")
+    print(f"{'compressed':16s}  {result.compressed_mb_per_minute:9.3f}")
+    # Shape: replay information dominates the log; TimeTracker entries are the
+    # largest single category; compression helps substantially.
+    assert result.replay_fraction > 0.5
+    assert result.breakdown.fraction("timetracker") >= result.breakdown.fraction("maclayer")
+    assert result.compressed_mb_per_minute < 0.7 * result.total_mb_per_minute

@@ -1,0 +1,21 @@
+"""Figure 5 — ping round-trip times under the five configurations."""
+
+from repro.avmm.config import Configuration
+from repro.experiments import fig5_latency
+
+
+def test_fig5_ping_rtt(benchmark):
+    result = benchmark.pedantic(fig5_latency.run_latency, kwargs={"pings": 100},
+                                rounds=1, iterations=1)
+    print()
+    print("configuration  median (ms)  5th pct (ms)  95th pct (ms)")
+    for configuration, summary in result.summaries.items():
+        print(f"{configuration.label:13s}  {summary.median * 1000:11.3f}  "
+              f"{summary.p05 * 1000:12.3f}  {summary.p95 * 1000:13.3f}")
+    # Shape: monotone increase across configurations, ~0.2 ms bare hardware,
+    # a few ms for the full system (signatures dominate).
+    medians = [result.summaries[c].median for c in Configuration]
+    assert medians == sorted(medians)
+    assert result.median_ms(Configuration.BARE_HW) < 0.5
+    assert result.median_ms(Configuration.AVMM_NOSIG) > 1.0
+    assert 2.0 < result.median_ms(Configuration.AVMM_RSA768) < 20.0

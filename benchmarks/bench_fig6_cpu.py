@@ -1,0 +1,24 @@
+"""Figure 6 — average CPU utilisation per hyperthread."""
+
+from _bench_utils import duration_or
+
+from repro.avmm.config import Configuration
+from repro.experiments import fig6_cpu
+
+
+def test_fig6_cpu_utilisation(benchmark, repro_duration):
+    duration = duration_or(20.0, repro_duration)
+    result = benchmark.pedantic(fig6_cpu.run_cpu,
+                                kwargs={"duration": duration, "num_players": 3},
+                                rounds=1, iterations=1)
+    print()
+    print("configuration  average (entire CPU)  daemon HT 0")
+    for configuration, utilization in result.utilizations.items():
+        print(f"{configuration.label:13s}  {utilization.average * 100:19.1f}%  "
+              f"{utilization.daemon_ht_utilization * 100:10.1f}%")
+    # Shape: ~12.5 % average in every configuration (single-threaded game),
+    # daemon hyperthread below 8 % plus background.
+    for utilization in result.utilizations.values():
+        assert 0.10 < utilization.average < 0.30
+    avmm = result.utilizations[Configuration.AVMM_RSA768]
+    assert avmm.daemon_ht_utilization < 0.20

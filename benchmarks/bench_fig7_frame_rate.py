@@ -1,0 +1,31 @@
+"""Figure 7 — frame rate under the five configurations (plus the §6.10 ablation)."""
+
+from _bench_utils import duration_or
+
+from repro.avmm.config import Configuration
+from repro.experiments import fig7_frame_rate
+
+
+def test_fig7_frame_rate(benchmark, repro_duration):
+    duration = duration_or(20.0, repro_duration)
+    result = benchmark.pedantic(fig7_frame_rate.run_frame_rate,
+                                kwargs={"duration": duration, "num_players": 3},
+                                rounds=1, iterations=1)
+    print()
+    print("configuration  avg fps  drop vs bare-hw")
+    for configuration in Configuration:
+        print(f"{configuration.label:13s}  {result.average_fps(configuration):7.0f}  "
+              f"{result.relative_drop(configuration) * 100:6.1f}%")
+    pinned_delta = result.average_fps(Configuration.AVMM_RSA768) \
+        - result.pinned_sample.frames_per_second
+    print(f"ablation (Section 6.10): daemon pinned with the game costs "
+          f"{pinned_delta:.0f} fps")
+    # Shape: bare hardware fastest (~158 fps); recording is the biggest single
+    # drop; the full AVMM costs on the order of 10-20 %.
+    assert result.average_fps(Configuration.BARE_HW) > 150
+    drop = result.relative_drop(Configuration.AVMM_RSA768)
+    assert 0.05 < drop < 0.30
+    norec = result.average_fps(Configuration.VMWARE_NOREC)
+    rec = result.average_fps(Configuration.VMWARE_REC)
+    assert (norec - rec) > (rec - result.average_fps(Configuration.AVMM_RSA768))
+    assert pinned_delta > 0

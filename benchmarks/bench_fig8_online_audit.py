@@ -1,0 +1,27 @@
+"""Figure 8 — frame rate with concurrent online audits, and online cheat detection."""
+
+from _bench_utils import duration_or
+
+from repro.experiments import fig8_online_audit
+
+
+def test_fig8_online_auditing(benchmark, repro_duration):
+    duration = duration_or(30.0, repro_duration)
+    result = benchmark.pedantic(fig8_online_audit.run_online_audit,
+                                kwargs={"duration": duration, "num_players": 3,
+                                        "audit_interval": duration / 4.0},
+                                rounds=1, iterations=1)
+    print()
+    print("online audits per machine  fps")
+    for count, fps in sorted(result.fps_by_audit_count.items()):
+        print(f"{count:25d}  {fps:.0f}")
+    when = (f"{result.detection_time:.1f} s" if result.detection_time is not None
+            else "not detected")
+    print(f"online detection of {result.cheat_name}: {when} "
+          f"({result.audit_passes} audit passes)")
+    # Shape: frame rate drops sub-linearly with the number of audits, and the
+    # cheat is detected while the game is still in progress.
+    fps = result.fps_by_audit_count
+    assert fps[0] > fps[1] > fps[2]
+    assert (fps[0] - fps[2]) < 0.5 * fps[0]
+    assert result.detection_time is not None and result.detection_time <= duration

@@ -1,0 +1,30 @@
+"""Figure 9 — efficiency of spot checking on the client/server (database) workload."""
+
+from _bench_utils import duration_or
+
+from repro.experiments import fig9_spot_check
+
+
+def test_fig9_spot_checking(benchmark, repro_duration):
+    duration = duration_or(180.0, repro_duration)
+    result = benchmark.pedantic(
+        fig9_spot_check.run_spot_check,
+        kwargs={"duration": duration, "snapshot_interval": duration / 10.0,
+                "k_values": (1, 3, 5, 8)},
+        rounds=1, iterations=1)
+    print()
+    print(f"segments: {result.segments}, full audit: "
+          f"{result.full_audit_seconds:.1f} s / {result.full_audit_bytes / 1e6:.1f} MB")
+    print("k  chunks  time vs full audit  data vs full audit")
+    for point in result.points:
+        print(f"{point.k}  {point.chunks_audited:6d}  "
+              f"{point.avg_time_fraction * 100:17.1f}%  "
+              f"{point.avg_data_fraction * 100:17.1f}%")
+    # Shape: cost grows with k (roughly linearly) plus a fixed per-chunk cost
+    # for transferring the snapshots; every chunk of an honest machine passes.
+    assert all(p.all_passed for p in result.points)
+    times = [p.avg_time_fraction for p in result.points]
+    data = [p.avg_data_fraction for p in result.points]
+    assert times == sorted(times)
+    assert data == sorted(data)
+    assert data[0] > 0.0  # fixed per-chunk snapshot cost

@@ -1,0 +1,25 @@
+"""Section 6.6 — cost split of the syntactic and semantic checks."""
+
+from _bench_utils import duration_or
+
+from repro.experiments import sec66_audit_cost
+
+
+def test_sec66_audit_cost(benchmark, repro_duration):
+    duration = duration_or(30.0, repro_duration)
+    result = benchmark.pedantic(sec66_audit_cost.run_audit_cost,
+                                kwargs={"duration": duration, "num_players": 3},
+                                rounds=1, iterations=1)
+    print()
+    print(f"recorded game time      {result.recorded_seconds:8.1f} s")
+    print(f"active (non-idle) time  {result.active_seconds:8.1f} s")
+    print(f"compress the log        {result.compression_seconds:8.2f} s")
+    print(f"decompress the log      {result.decompression_seconds:8.2f} s")
+    print(f"syntactic check         {result.syntactic_seconds:8.2f} s")
+    print(f"semantic check (replay) {result.semantic_seconds:8.1f} s")
+    print(f"semantic / active play  {result.semantic_fraction_of_recording:8.2f}x")
+    # Shape: the semantic check dominates and takes roughly as long as the
+    # recorded (active) play time; the syntactic check is cheap.
+    assert result.audit_passed
+    assert result.semantic_seconds > 10 * result.syntactic_seconds
+    assert 0.5 < result.semantic_fraction_of_recording < 2.0

@@ -1,0 +1,25 @@
+"""Section 6.7 — raw network traffic of the machine hosting the game."""
+
+from _bench_utils import duration_or
+
+from repro.avmm.config import Configuration
+from repro.experiments import sec67_traffic
+
+
+def test_sec67_network_traffic(benchmark, repro_duration):
+    duration = duration_or(20.0, repro_duration)
+    result = benchmark.pedantic(
+        sec67_traffic.run_traffic,
+        kwargs={"duration": duration, "num_players": 3,
+                "configurations": list(Configuration)},
+        rounds=1, iterations=1)
+    print()
+    print("configuration  kbps   packets/s")
+    for configuration, kbps in result.kbps_by_configuration.items():
+        print(f"{configuration.label:13s}  {kbps:6.1f}  "
+              f"{result.packets_per_second[configuration]:8.1f}")
+    print(f"accountability overhead: {result.overhead_factor:.1f}x bare hardware")
+    # Shape: accountability multiplies the small-packet game traffic by a
+    # noticeable factor, yet the absolute rate stays far below broadband.
+    assert result.overhead_factor > 1.5
+    assert result.kbps_by_configuration[Configuration.AVMM_RSA768] < 2000.0

@@ -1,0 +1,34 @@
+"""Table 1 — cheat detectability, plus the Section 6.3 functionality check."""
+
+from _bench_utils import duration_or
+
+from repro.experiments import table1
+from repro.game.cheats.implementations import AimbotCheat, UnlimitedAmmoCheat
+
+
+def test_table1_catalog(benchmark):
+    """Regenerate the Table 1 rows from the cheat catalogue."""
+    result = benchmark(table1.run_table1, run_functional=False)
+    print()
+    for label, count in result.summary.as_rows():
+        print(f"{label}: {count}")
+    assert result.summary.total == 26
+    assert result.summary.detectable == 26
+    assert result.summary.not_detectable == 0
+
+
+def test_table1_functional_check(benchmark, repro_duration):
+    """Section 6.3: a cheated game is audited and the cheater is caught."""
+    duration = duration_or(8.0, repro_duration)
+
+    def run():
+        return [table1.run_functional_check(cheat, duration=duration, num_players=2)
+                for cheat in (UnlimitedAmmoCheat(), AimbotCheat())]
+
+    checks = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for check in checks:
+        print(f"{check.cheat_name}: cheater "
+              f"{'detected' if check.cheater_detected else 'MISSED'}, honest audits "
+              f"{'pass' if check.honest_players_passed else 'FALSE POSITIVE'}")
+    assert all(c.cheater_detected and c.honest_players_passed for c in checks)

@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+scale (seconds of simulated time rather than half-hour games) so the whole
+suite completes in minutes.  The printed rows/series have the same structure
+as the paper's artefacts; EXPERIMENTS.md records the paper-vs-measured
+comparison from a representative run.
+
+Scale can be increased with ``--repro-duration`` (seconds of simulated game
+time per experiment).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-duration", type=float, default=None,
+                     help="simulated seconds per experiment (default: per-benchmark)")
+
+
+@pytest.fixture(scope="session")
+def repro_duration(request):
+    """Optional duration override for every experiment."""
+    return request.config.getoption("--repro-duration")

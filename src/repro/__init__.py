@@ -1,0 +1,52 @@
+"""repro — a reproduction of *Accountable Virtual Machines* (OSDI 2010).
+
+The public API re-exports the pieces a downstream user needs to make a piece
+of software accountable and to audit it:
+
+* build a :class:`~repro.vm.image.VMImage` around a deterministic
+  :class:`~repro.vm.guest.GuestProgram`;
+* run it under an :class:`~repro.avmm.monitor.AccountableVMM` on a
+  :class:`~repro.sim.scheduler.Scheduler` and
+  :class:`~repro.network.simnet.SimulatedNetwork`;
+* audit the recorded log with an :class:`~repro.audit.auditor.Auditor`
+  (full audits, :class:`~repro.audit.spot_check.SpotChecker` spot checks or
+  :class:`~repro.audit.online.OnlineAuditor` online audits);
+* hand the resulting :class:`~repro.audit.evidence.Evidence` to any third
+  party for independent verification.
+
+See ``examples/quickstart.py`` for a complete two-party walkthrough.
+"""
+
+from repro.audit import Auditor, Evidence, OnlineAuditor, SpotChecker
+from repro.audit.verdict import AuditResult, Verdict
+from repro.avmm import AccountableVMM, AvmmConfig, Configuration, DeterministicReplayer
+from repro.crypto import CertificateAuthority, KeyStore
+from repro.log import TamperEvidentLog
+from repro.network import SimulatedNetwork
+from repro.sim import Scheduler
+from repro.vm import GuestProgram, MachineApi, VirtualMachine, VMImage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Auditor",
+    "Evidence",
+    "OnlineAuditor",
+    "SpotChecker",
+    "AuditResult",
+    "Verdict",
+    "AccountableVMM",
+    "AvmmConfig",
+    "Configuration",
+    "DeterministicReplayer",
+    "CertificateAuthority",
+    "KeyStore",
+    "TamperEvidentLog",
+    "SimulatedNetwork",
+    "Scheduler",
+    "GuestProgram",
+    "MachineApi",
+    "VirtualMachine",
+    "VMImage",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""The auditor.
+
+:class:`Auditor` implements the full audit of Section 4.5: collect
+authenticators, download the log (compressed), verify it against the
+authenticators, run the syntactic check, then the semantic check.  Any failure
+produces :class:`~repro.audit.evidence.Evidence`; an unresponsive machine is
+*suspected* and the most recent authenticator becomes the evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.audit.evidence import Evidence
+from repro.audit.semantic import SemanticChecker
+from repro.audit.syntactic import SyntacticChecker
+from repro.audit.verdict import AuditCost, AuditPhase, AuditResult, Verdict
+from repro.avmm.monitor import AccountableVMM
+from repro.crypto.keys import KeyStore
+from repro.errors import AuthenticatorMismatchError, HashChainError
+from repro.log.authenticator import Authenticator
+from repro.log.compression import VmmLogCompressor
+from repro.log.segments import LogSegment
+from repro.metrics.perfmodel import CostParameters
+from repro.vm.image import VMImage
+
+
+class Auditor:
+    """An auditing party (Alice, or any player auditing another)."""
+
+    def __init__(self, identity: str, keystore: KeyStore, reference_image: VMImage,
+                 cost_params: Optional[CostParameters] = None) -> None:
+        self.identity = identity
+        self.keystore = keystore
+        self.reference_image = reference_image
+        self.cost_params = cost_params or CostParameters()
+        self.collected_authenticators: Dict[str, List[Authenticator]] = {}
+        self._compressor = VmmLogCompressor()
+
+    # -- authenticator collection -------------------------------------------------
+
+    def collect_authenticators(self, machine: str,
+                               authenticators: Iterable[Authenticator]) -> int:
+        """Store authenticators issued by ``machine`` (e.g. detached from messages)."""
+        store = self.collected_authenticators.setdefault(machine, [])
+        added = 0
+        for auth in authenticators:
+            if auth.machine != machine:
+                continue
+            store.append(auth)
+            added += 1
+        return added
+
+    def collect_from_peer(self, peer: AccountableVMM, machine: str) -> int:
+        """Ask another party for the authenticators it holds about ``machine``.
+
+        This is the multi-party step of Section 4.6: before auditing Bob,
+        Alice downloads the authenticators Charlie has collected from Bob.
+        """
+        return self.collect_authenticators(machine, peer.authenticators_from(machine))
+
+    def authenticators_for(self, machine: str) -> List[Authenticator]:
+        return list(self.collected_authenticators.get(machine, []))
+
+    # -- audits ---------------------------------------------------------------------
+
+    def audit(self, target: AccountableVMM,
+              segment: Optional[LogSegment] = None,
+              initial_state: Optional[Dict[str, Any]] = None) -> AuditResult:
+        """Run a full audit of ``target`` (or of a specific segment of its log)."""
+        machine = target.identity
+        if segment is None:
+            segment = target.get_log_segment()
+        return self.audit_segment(machine, segment, initial_state=initial_state)
+
+    def audit_segment(self, machine: str, segment: LogSegment,
+                      initial_state: Optional[Dict[str, Any]] = None,
+                      snapshot_bytes: int = 0) -> AuditResult:
+        """Audit a log segment that has already been downloaded."""
+        cost = self._download_cost(segment, snapshot_bytes)
+        authenticators = self.authenticators_for(machine)
+
+        # Step 1: the log must match the authenticators the machine has issued.
+        try:
+            checked = segment.verify_against_authenticators(authenticators, self.keystore)
+        except (HashChainError, AuthenticatorMismatchError) as exc:
+            return self._fail(machine, segment, AuditPhase.AUTHENTICATOR_CHECK,
+                              str(exc), cost, authenticators, initial_state)
+
+        # Step 2: syntactic check.
+        syntactic = SyntacticChecker(self.keystore).check(segment)
+        if not syntactic.ok:
+            result = self._fail(machine, segment, AuditPhase.SYNTACTIC_CHECK,
+                                "; ".join(syntactic.problems[:3]), cost,
+                                authenticators, initial_state)
+            result.syntactic_problems = syntactic.problems
+            result.authenticators_checked = checked
+            return result
+
+        # Step 3: semantic check (deterministic replay).
+        checker = SemanticChecker(self.reference_image, self.cost_params)
+        report = checker.check(segment, initial_state=initial_state)
+        cost.semantic_seconds = checker.estimate_timing(report).replay_seconds
+        if report.diverged:
+            result = self._fail(machine, segment, AuditPhase.SEMANTIC_CHECK,
+                                report.divergence.describe(), cost,
+                                authenticators, initial_state)
+            result.replay_report = report
+            result.authenticators_checked = checked
+            return result
+
+        return AuditResult(machine=machine, auditor=self.identity,
+                           verdict=Verdict.PASS, phase=AuditPhase.COMPLETE,
+                           authenticators_checked=checked,
+                           replay_report=report, cost=cost)
+
+    def suspect(self, machine: str, reason: str = "no response to audit challenge") -> AuditResult:
+        """Report an unresponsive machine (Section 4.5: 'Alice will suspect Bob')."""
+        authenticators = self.authenticators_for(machine)
+        evidence = Evidence(machine=machine, accuser=self.identity, reason=reason,
+                            segment=None, authenticators=authenticators,
+                            reference_image_hash=self.reference_image.image_hash(),
+                            unanswered_challenge=True)
+        return AuditResult(machine=machine, auditor=self.identity,
+                           verdict=Verdict.SUSPECTED,
+                           phase=AuditPhase.AUTHENTICATOR_CHECK,
+                           reason=reason, evidence=evidence)
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _download_cost(self, segment: LogSegment, snapshot_bytes: int) -> AuditCost:
+        """Model the transfer/processing cost of obtaining this segment."""
+        raw_bytes = segment.size_bytes()
+        compressed = len(self._compressor.compress(segment)) if segment.entries else 0
+        params = self.cost_params
+        return AuditCost(
+            log_bytes_downloaded=raw_bytes,
+            compressed_log_bytes=compressed,
+            snapshot_bytes_downloaded=snapshot_bytes,
+            compression_seconds=raw_bytes / params.compress_bytes_per_second,
+            decompression_seconds=raw_bytes / params.decompress_bytes_per_second,
+            syntactic_seconds=raw_bytes / params.syntactic_check_bytes_per_second,
+        )
+
+    def _fail(self, machine: str, segment: LogSegment, phase: AuditPhase,
+              reason: str, cost: AuditCost, authenticators: List[Authenticator],
+              initial_state: Optional[Dict[str, Any]]) -> AuditResult:
+        evidence = Evidence(machine=machine, accuser=self.identity, reason=reason,
+                            segment=segment, authenticators=authenticators,
+                            reference_image_hash=self.reference_image.image_hash(),
+                            initial_state=initial_state)
+        return AuditResult(machine=machine, auditor=self.identity,
+                           verdict=Verdict.FAIL, phase=phase, reason=reason,
+                           evidence=evidence, cost=cost)

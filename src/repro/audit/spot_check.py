@@ -1,0 +1,133 @@
+"""Spot checking (Sections 3.5 and 6.12).
+
+Instead of auditing the whole log, the auditor picks *k-chunks* — ``k``
+consecutive snapshot-delimited segments — downloads the snapshot at the start
+of the chunk, verifies it against the hash-tree root recorded in the log, and
+replays just the chunk.  The cost is roughly proportional to the chunk size
+plus a fixed per-chunk cost for transferring the memory and disk snapshots and
+for decompression (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.audit.auditor import Auditor
+from repro.audit.verdict import AuditResult
+from repro.avmm.monitor import AccountableVMM
+from repro.errors import MissingSnapshotError, SegmentError
+from repro.log.entries import EntryType
+from repro.log.segments import LogSegment, concatenate_segments
+
+
+@dataclass
+class SpotCheckResult:
+    """Outcome and cost of auditing one k-chunk."""
+
+    chunk_start_index: int
+    k: int
+    result: AuditResult
+    log_bytes: int
+    compressed_log_bytes: int
+    snapshot_bytes: int
+    replay_seconds: float
+
+    @property
+    def total_bytes_transferred(self) -> int:
+        return self.compressed_log_bytes + self.snapshot_bytes
+
+    @property
+    def total_seconds(self) -> float:
+        return self.result.cost.decompression_seconds \
+            + self.result.cost.syntactic_seconds + self.replay_seconds
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+
+class SpotChecker:
+    """Audits k-chunks of a machine's log."""
+
+    def __init__(self, auditor: Auditor) -> None:
+        self.auditor = auditor
+
+    # -- public API ------------------------------------------------------------------
+
+    def check_chunk(self, target: AccountableVMM, start_index: int, k: int,
+                    segments: Optional[List[LogSegment]] = None) -> SpotCheckResult:
+        """Audit the chunk of ``k`` consecutive segments starting at ``start_index``.
+
+        ``start_index`` is an index into the list of snapshot-delimited
+        segments (0 = the segment that starts at the beginning of the log).
+        """
+        if segments is None:
+            segments = target.get_snapshot_segments()
+        if start_index < 0 or start_index + k > len(segments):
+            raise SegmentError(
+                f"chunk [{start_index}, {start_index + k}) outside the "
+                f"{len(segments)} available segments")
+        chunk = concatenate_segments(segments[start_index:start_index + k])
+
+        initial_state: Optional[Dict[str, Any]] = None
+        snapshot_bytes = 0
+        if start_index > 0:
+            initial_state, snapshot_bytes = self._fetch_and_verify_snapshot(
+                target, segments[start_index - 1])
+
+        result = self.auditor.audit_segment(target.identity, chunk,
+                                            initial_state=initial_state,
+                                            snapshot_bytes=snapshot_bytes)
+        return SpotCheckResult(
+            chunk_start_index=start_index,
+            k=k,
+            result=result,
+            log_bytes=chunk.size_bytes(),
+            compressed_log_bytes=result.cost.compressed_log_bytes,
+            snapshot_bytes=snapshot_bytes,
+            replay_seconds=result.cost.semantic_seconds,
+        )
+
+    def check_all_chunks(self, target: AccountableVMM, k: int,
+                         skip_initial: bool = True) -> List[SpotCheckResult]:
+        """Audit every possible k-chunk (Figure 9 sweeps k over the whole log).
+
+        ``skip_initial`` excludes chunks that start at the very beginning of
+        the log, as the paper does: they are atypical because no snapshot has
+        to be transferred and there is little activity yet.
+        """
+        segments = target.get_snapshot_segments()
+        results: List[SpotCheckResult] = []
+        start = 1 if skip_initial else 0
+        for index in range(start, len(segments) - k + 1):
+            results.append(self.check_chunk(target, index, k, segments=segments))
+        return results
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _fetch_and_verify_snapshot(self, target: AccountableVMM,
+                                   preceding_segment: LogSegment):
+        """Download the snapshot at the chunk boundary and authenticate it.
+
+        The preceding segment ends with the SNAPSHOT entry whose hash-tree
+        root must match the downloaded snapshot (Section 4.5, "Verifying the
+        snapshot").
+        """
+        snapshot_entries = preceding_segment.entries_of_type(EntryType.SNAPSHOT)
+        if not snapshot_entries:
+            raise MissingSnapshotError(
+                "the segment preceding the chunk does not end with a snapshot")
+        snapshot_entry = snapshot_entries[-1]
+        snapshot_id = int(snapshot_entry.content["snapshot_id"])
+        expected_root = str(snapshot_entry.content["state_root"])
+
+        snapshot = target.snapshots.get(snapshot_id)
+        if snapshot.state_root.hex() != expected_root:
+            raise MissingSnapshotError(
+                f"snapshot {snapshot_id} does not match the root recorded in the log")
+        if not snapshot.verify_root():
+            raise MissingSnapshotError(
+                f"snapshot {snapshot_id} failed hash-tree verification")
+        transfer_bytes = target.snapshots.transfer_cost_bytes(snapshot_id)
+        return snapshot.state, transfer_bytes

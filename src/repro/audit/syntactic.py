@@ -1,0 +1,175 @@
+"""The syntactic check (Section 4.5).
+
+The audit tool first checks *whether the log itself is well-formed*: every
+entry has the proper format, the cryptographic signatures in each message and
+acknowledgment verify, each message was acknowledged, and the sequence of
+sent and received messages corresponds to the sequence of messages that enter
+and exit the AVM.  All of this is independent of the reference image; it only
+needs the log and the parties' public keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.crypto import hashing
+from repro.crypto.keys import KeyStore
+from repro.log.entries import EntryType, LogEntry
+from repro.log.segments import LogSegment
+
+# Fields every entry of a given type must carry to be considered well-formed.
+_REQUIRED_FIELDS: Dict[EntryType, Set[str]] = {
+    EntryType.SEND: {"destination", "payload_hash", "payload_size", "message_id"},
+    EntryType.RECV: {"source", "payload_hash", "payload_size", "message_id",
+                     "sender_signature"},
+    EntryType.ACK: {"peer", "message_id", "direction"},
+    EntryType.SNAPSHOT: {"snapshot_id", "state_root", "execution_counter"},
+    EntryType.TIMETRACKER: {"event_kind", "execution_counter"},
+    EntryType.MACLAYER: {"direction", "message_id", "execution_counter"},
+    EntryType.NONDET: {"event_kind", "execution_counter"},
+}
+
+
+@dataclass
+class SyntacticReport:
+    """Result of the syntactic check."""
+
+    problems: List[str] = field(default_factory=list)
+    entries_checked: int = 0
+    signatures_verified: int = 0
+    sends: int = 0
+    recvs: int = 0
+    acks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        self.problems.append(problem)
+
+
+class SyntacticChecker:
+    """Performs the syntactic check on one log segment."""
+
+    def __init__(self, keystore: Optional[KeyStore] = None, *,
+                 require_acknowledgments: bool = False,
+                 verify_sender_signatures: bool = True) -> None:
+        self.keystore = keystore
+        self.require_acknowledgments = require_acknowledgments
+        self.verify_sender_signatures = verify_sender_signatures
+
+    # -- public API ---------------------------------------------------------------
+
+    def check(self, segment: LogSegment) -> SyntacticReport:
+        """Run all syntactic checks; problems are collected, not raised."""
+        report = SyntacticReport()
+        sends: Dict[str, LogEntry] = {}
+        recvs: Dict[str, LogEntry] = {}
+        acked_received: Set[str] = set()
+        mac_in: Dict[str, LogEntry] = {}
+        mac_out: Dict[str, LogEntry] = {}
+
+        for entry in segment.entries:
+            report.entries_checked += 1
+            self._check_format(entry, report)
+            if entry.entry_type is EntryType.SEND:
+                report.sends += 1
+                sends[str(entry.content.get("message_id"))] = entry
+            elif entry.entry_type is EntryType.RECV:
+                report.recvs += 1
+                recvs[str(entry.content.get("message_id"))] = entry
+                self._check_recv_signature(segment.machine, entry, report)
+            elif entry.entry_type is EntryType.ACK:
+                report.acks += 1
+                if entry.content.get("direction") == "received":
+                    acked_received.add(str(entry.content.get("message_id")))
+            elif entry.entry_type is EntryType.MACLAYER:
+                message_id = str(entry.content.get("message_id"))
+                if entry.content.get("direction") == "in":
+                    mac_in[message_id] = entry
+                else:
+                    mac_out[message_id] = entry
+
+        self._cross_reference(segment, sends, recvs, mac_in, mac_out, report)
+        if self.require_acknowledgments:
+            for message_id, entry in sends.items():
+                if message_id not in acked_received:
+                    report.add(f"SEND {message_id} (sequence {entry.sequence}) "
+                               f"was never acknowledged")
+        return report
+
+    # -- individual checks -----------------------------------------------------------
+
+    @staticmethod
+    def _check_format(entry: LogEntry, report: SyntacticReport) -> None:
+        required = _REQUIRED_FIELDS.get(entry.entry_type, set())
+        missing = required - set(entry.content)
+        if missing:
+            report.add(f"entry {entry.sequence} ({entry.entry_type.wire_name}) "
+                       f"is missing fields {sorted(missing)}")
+        if entry.sequence < 1:
+            report.add(f"entry has invalid sequence number {entry.sequence}")
+
+    def _check_recv_signature(self, machine: str, entry: LogEntry,
+                              report: SyntacticReport) -> None:
+        """Verify the sender's signature logged with an incoming message."""
+        if not self.verify_sender_signatures or self.keystore is None:
+            return
+        signature_hex = entry.content.get("sender_signature", "")
+        source = str(entry.content.get("source", ""))
+        if not signature_hex:
+            return  # unsigned traffic (nosig configurations)
+        if not self.keystore.has_identity(source):
+            report.add(f"entry {entry.sequence}: no certificate for sender {source!r}")
+            return
+        payload_hash = bytes.fromhex(str(entry.content.get("payload_hash", "")))
+        kind = str(entry.content.get("kind", "data"))
+        signed = hashing.hash_concat(
+            source.encode("utf-8"),
+            machine.encode("utf-8"),
+            str(entry.content.get("message_id", "")).encode("utf-8"),
+            kind.encode("utf-8"),
+            payload_hash,
+        )
+        if not self.keystore.verify(source, signed, bytes.fromhex(signature_hex)):
+            report.add(f"entry {entry.sequence}: sender signature from {source!r} "
+                       f"does not verify (possible forged message)")
+        else:
+            report.signatures_verified += 1
+
+    @staticmethod
+    def _cross_reference(segment: LogSegment, sends: Dict[str, LogEntry],
+                         recvs: Dict[str, LogEntry], mac_in: Dict[str, LogEntry],
+                         mac_out: Dict[str, LogEntry], report: SyntacticReport) -> None:
+        """Check the message stream against the MAC-layer stream (Section 4.4)."""
+        for message_id, entry in mac_in.items():
+            recv = recvs.get(message_id)
+            if recv is None:
+                report.add(f"packet {message_id} entered the AVM (sequence "
+                           f"{entry.sequence}) but has no RECV entry")
+                continue
+            recv_payload = recv.content.get("payload")
+            if recv_payload is not None:
+                actual_hash = hashing.hash_bytes(bytes.fromhex(recv_payload)).hex()
+                if actual_hash != recv.content.get("payload_hash"):
+                    report.add(f"RECV {message_id}: logged payload does not match "
+                               f"its logged hash")
+        for message_id, entry in mac_out.items():
+            send = sends.get(message_id)
+            if send is None:
+                report.add(f"packet {message_id} left the AVM (sequence "
+                           f"{entry.sequence}) but has no SEND entry")
+                continue
+            if entry.content.get("payload_hash") != send.content.get("payload_hash"):
+                report.add(f"message {message_id}: SEND entry and MAC-layer entry "
+                           f"disagree about the payload")
+        for message_id, entry in recvs.items():
+            if message_id not in mac_in:
+                # The packet was logged as received but never injected into the
+                # AVM.  This is legitimate only at the very end of the segment
+                # (the packet may still be "in flight" inside the monitor).
+                if entry.sequence < segment.last_sequence - 5:
+                    report.add(f"message {message_id} was received (sequence "
+                               f"{entry.sequence}) but never entered the AVM")

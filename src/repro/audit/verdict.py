@@ -1,0 +1,77 @@
+"""Audit results and cost accounting."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.audit.evidence import Evidence
+from repro.avmm.replayer import ReplayReport
+
+
+class Verdict(enum.Enum):
+    """Outcome of an audit."""
+
+    PASS = "pass"          # no fault detected
+    FAIL = "fail"          # fault detected, evidence available
+    SUSPECTED = "suspected"  # machine did not respond to the audit request
+
+
+class AuditPhase(enum.Enum):
+    """Which step of the audit produced the verdict."""
+
+    AUTHENTICATOR_CHECK = "authenticator_check"
+    SYNTACTIC_CHECK = "syntactic_check"
+    SEMANTIC_CHECK = "semantic_check"
+    COMPLETE = "complete"
+
+
+@dataclass
+class AuditCost:
+    """Resources an audit consumed (drives Sections 6.6, 6.12 and Figure 9)."""
+
+    log_bytes_downloaded: int = 0
+    compressed_log_bytes: int = 0
+    snapshot_bytes_downloaded: int = 0
+    compression_seconds: float = 0.0
+    decompression_seconds: float = 0.0
+    syntactic_seconds: float = 0.0
+    semantic_seconds: float = 0.0
+
+    @property
+    def total_bytes_downloaded(self) -> int:
+        return self.compressed_log_bytes + self.snapshot_bytes_downloaded
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.compression_seconds + self.decompression_seconds
+                + self.syntactic_seconds + self.semantic_seconds)
+
+
+@dataclass
+class AuditResult:
+    """Everything an audit produced."""
+
+    machine: str
+    auditor: str
+    verdict: Verdict
+    phase: AuditPhase
+    reason: str = ""
+    authenticators_checked: int = 0
+    syntactic_problems: List[str] = field(default_factory=list)
+    replay_report: Optional[ReplayReport] = None
+    evidence: Optional[Evidence] = None
+    cost: AuditCost = field(default_factory=AuditCost)
+
+    @property
+    def ok(self) -> bool:
+        """True when the audit completed and found no fault."""
+        return self.verdict is Verdict.PASS
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        base = f"audit of {self.machine} by {self.auditor}: {self.verdict.value}"
+        if self.verdict is Verdict.PASS:
+            return base
+        return f"{base} ({self.phase.value}: {self.reason})"

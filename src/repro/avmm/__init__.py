@@ -1,0 +1,29 @@
+"""The accountable virtual machine monitor (AVMM) — the paper's core contribution.
+
+* :mod:`repro.avmm.config` — the five evaluation configurations
+  (``bare-hw`` … ``avmm-rsa768``) and the knobs that distinguish them.
+* :mod:`repro.avmm.recorder` — writes nondeterministic events, message
+  records and snapshot hashes into the tamper-evident log.
+* :mod:`repro.avmm.clockopt` — the Section 6.5 clock-read delay optimisation.
+* :mod:`repro.avmm.monitor` — :class:`~repro.avmm.monitor.AccountableVMM`,
+  which wraps a :class:`~repro.vm.machine.VirtualMachine`, mediates all its
+  network traffic, signs and acknowledges packets, and periodically snapshots.
+* :mod:`repro.avmm.replayer` — deterministic replay of a recorded log against
+  a reference image, with divergence detection.
+"""
+
+from repro.avmm.config import AvmmConfig, Configuration
+from repro.avmm.clockopt import ClockReadOptimizer
+from repro.avmm.monitor import AccountableVMM
+from repro.avmm.recorder import ExecutionRecorder
+from repro.avmm.replayer import DeterministicReplayer, ReplayReport
+
+__all__ = [
+    "AvmmConfig",
+    "Configuration",
+    "ClockReadOptimizer",
+    "AccountableVMM",
+    "ExecutionRecorder",
+    "DeterministicReplayer",
+    "ReplayReport",
+]

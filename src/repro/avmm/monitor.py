@@ -1,0 +1,412 @@
+"""The accountable virtual machine monitor.
+
+:class:`AccountableVMM` wraps one :class:`~repro.vm.machine.VirtualMachine`
+and implements the machinery of Sections 4.3–4.4:
+
+* every nondeterministic input (clock reads, timer interrupts, packet
+  deliveries, local input) is recorded with its execution timestamp;
+* every incoming and outgoing message is entered into the tamper-evident log,
+  outgoing messages carry a signature and an authenticator, incoming messages
+  are acknowledged with an authenticator of the RECV entry;
+* the AVM state is snapshotted periodically, and the hash-tree root of each
+  snapshot is logged;
+* the monitor keeps the authenticators it has received from its peers so the
+  machine's owner can later audit those peers (Section 4.6).
+
+The same class also runs the degraded configurations of the evaluation
+(``bare-hw``, ``vmware-norec``, ``vmware-rec``): the corresponding
+:class:`~repro.avmm.config.AvmmConfig` switches the tamper-evident and
+recording features off, which lets every experiment use identical wiring.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.avmm.clockopt import ClockReadOptimizer
+from repro.avmm.config import AvmmConfig, Configuration
+from repro.avmm.recorder import ExecutionRecorder
+from repro.crypto.keys import KeyPair, KeyStore
+from repro.errors import SegmentError, VMError
+from repro.log.authenticator import Authenticator
+from repro.log.entries import EntryType, ack_content, recv_content, send_content
+from repro.log.segments import LogSegment
+from repro.log.tamper_evident import TamperEvidentLog
+from repro.metrics.perfmodel import PerfModel
+from repro.network.channel import ReliableChannel
+from repro.network.message import MessageKind, NetworkMessage
+from repro.network.simnet import SimulatedNetwork
+from repro.sim.clock import HostClock
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.vm.events import GuestEvent, KeyboardInput, PacketDelivery, TimerInterrupt
+from repro.vm.guest import FrameOutput, Output, PacketOutput
+from repro.vm.image import VMImage
+from repro.vm.machine import LiveNondeterminismSource, VirtualMachine
+from repro.vm.snapshot import SnapshotManager
+
+_monitor_ids = itertools.count(1)
+
+
+@dataclass
+class MonitorStats:
+    """Work counters the metrics layer and experiments read."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    signatures_generated: int = 0
+    signatures_verified: int = 0
+    guest_events_delivered: int = 0
+    frames_rendered: int = 0
+    daemon_cpu_seconds: float = 0.0
+    vmm_cpu_seconds: float = 0.0
+    suspected_peers: List[str] = field(default_factory=list)
+
+
+class AccountableVMM:
+    """One machine: host hardware + (A)VMM + guest image."""
+
+    def __init__(self, identity: str, image: VMImage, config: AvmmConfig,
+                 scheduler: Scheduler, network: Optional[SimulatedNetwork] = None,
+                 keypair: Optional[KeyPair] = None,
+                 keystore: Optional[KeyStore] = None,
+                 clock_offset: float = 0.0, clock_drift: float = 0.0) -> None:
+        self.identity = identity
+        self.image = image
+        self.config = config
+        self.scheduler = scheduler
+        self.network = network
+        self.keypair = keypair if config.signs_packets else keypair
+        self.keystore = keystore
+        self.perf = PerfModel.for_config(config)
+        self.stats = MonitorStats()
+
+        self.host_clock = HostClock(scheduler.clock, offset=clock_offset,
+                                    drift=clock_drift)
+        self.vm = VirtualMachine(image, LiveNondeterminismSource(self.host_clock.read))
+        self.vm.set_clock_read_hook(self._on_clock_read)
+
+        log_keypair = keypair if config.signs_packets else None
+        self.log = TamperEvidentLog(identity, keypair=log_keypair,
+                                    clock=lambda: scheduler.clock.now)
+        self.recorder = ExecutionRecorder(self.log, enabled=config.record_replay_info)
+        self.snapshots = SnapshotManager()
+        self.clock_optimizer = ClockReadOptimizer(enabled=config.clock_read_optimization)
+
+        self.channel: Optional[ReliableChannel] = None
+        if network is not None:
+            self.channel = ReliableChannel(
+                network, identity,
+                retransmit_interval=config.retransmit_interval,
+                max_retransmits=config.max_retransmits,
+                on_give_up=self._on_give_up)
+            network.register(identity, self.on_network_message,
+                             uses_tcp=config.tamper_evident)
+
+        #: authenticators received from peers, keyed by peer identity
+        self.received_authenticators: Dict[str, List[Authenticator]] = {}
+        #: messages received, by id (payload needed to forward challenges etc.)
+        self._seen_message_ids: set[str] = set()
+        #: RECV entry sequence for each message id (to re-ack retransmissions)
+        self._recv_entry_for: Dict[str, int] = {}
+        self._timer_process: Optional[Process] = None
+        self._snapshot_process: Optional[Process] = None
+        self._timer_ticks = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Boot the guest and start timer/snapshot processes."""
+        if self._running:
+            raise VMError(f"monitor {self.identity!r} already started")
+        self._running = True
+        outputs = self.vm.start()
+        self._charge_event_delivery()
+        self._handle_outputs(outputs)
+        if self.vm.timer.interval is not None:
+            self._timer_process = Process(self.scheduler, self.vm.timer.interval,
+                                          on_tick=self._timer_tick,
+                                          name=f"{self.identity}.timer")
+            self._timer_process.start(delay=self.vm.timer.interval)
+        if self.config.snapshot_interval:
+            self._snapshot_process = Process(self.scheduler, self.config.snapshot_interval,
+                                             on_tick=self.take_snapshot,
+                                             name=f"{self.identity}.snapshot")
+            self._snapshot_process.start(delay=self.config.snapshot_interval)
+
+    def stop(self) -> None:
+        """Stop background processes (the log and VM state remain accessible)."""
+        self._running = False
+        if self._timer_process is not None:
+            self._timer_process.stop()
+        if self._snapshot_process is not None:
+            self._snapshot_process.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------ clock reads
+
+    def _on_clock_read(self, execution, value: float) -> float:
+        value = self.clock_optimizer.observe(value)
+        if self.config.record_replay_info:
+            self.recorder.record_clock_read(execution, value)
+        return value
+
+    # ------------------------------------------------------------------ timer
+
+    def _timer_tick(self) -> None:
+        self._timer_ticks += 1
+        event = TimerInterrupt(tick_number=self._timer_ticks)
+        self.deliver_event(event)
+
+    # ------------------------------------------------------------------ local input
+
+    def inject_local_input(self, command: str, device: str = "keyboard") -> None:
+        """Deliver a local (keyboard/mouse) input to the guest.
+
+        Local inputs are recorded as nondeterministic events but cannot be
+        authenticated without trusted input hardware (Section 7.2) — this is
+        the surface the hypothetical re-engineered aimbot exploits.
+        """
+        self.deliver_event(KeyboardInput(command=command, device=device))
+
+    # ------------------------------------------------------------------ event delivery
+
+    def deliver_event(self, event: GuestEvent) -> List[Output]:
+        """Record and deliver one asynchronous event to the guest."""
+        if self.config.record_replay_info:
+            self.recorder.record_guest_event(self.vm.execution_timestamp, event)
+        outputs = self.vm.deliver_event(event)
+        self.stats.guest_events_delivered += 1
+        self._charge_event_delivery()
+        self._handle_outputs(outputs)
+        return outputs
+
+    def _charge_event_delivery(self) -> None:
+        self.stats.vmm_cpu_seconds += self.perf.vmm_cpu_for_event()
+
+    # ------------------------------------------------------------------ outputs
+
+    def _handle_outputs(self, outputs: List[Output]) -> None:
+        for output in outputs:
+            if isinstance(output, PacketOutput):
+                self._send_guest_packet(output)
+            elif isinstance(output, FrameOutput):
+                self.stats.frames_rendered = output.frame_number
+
+    def _send_guest_packet(self, packet: PacketOutput) -> None:
+        """Log, sign and transmit a packet the guest produced."""
+        message = NetworkMessage(source=self.identity, destination=packet.destination,
+                                 payload=packet.payload, kind=MessageKind.DATA)
+        payload_hash = message.payload_hash()
+
+        if self.config.tamper_evident:
+            entry = self.log.append(EntryType.SEND, send_content(
+                destination=packet.destination, payload_hash=payload_hash,
+                payload_size=len(packet.payload), message_id=message.message_id))
+            authenticator = self.log.authenticator_for(entry)
+            message.authenticator = authenticator.to_dict()
+            if self.config.signs_packets and self.keypair is not None:
+                message.signature = self.keypair.sign(message.signed_payload())
+                self.stats.signatures_generated += 1
+            self._charge_daemon_for_entry(entry.size_bytes(), signed=1 if message.signature else 0)
+        if self.config.record_replay_info:
+            self.recorder.record_packet_out(
+                self.vm.execution_timestamp, packet.destination, payload_hash,
+                len(packet.payload), message.message_id)
+        self.stats.messages_sent += 1
+        self._transmit(message, expect_ack=self.config.tamper_evident)
+
+    def _transmit(self, message: NetworkMessage, expect_ack: bool) -> None:
+        if self.channel is None:
+            return
+        delay = self.perf.outgoing_packet_delay(len(message.payload))
+        if delay > 0:
+            self.scheduler.schedule_after(
+                delay, lambda: self.channel.send(message, expect_ack=expect_ack),
+                label=f"{self.identity}.tx:{message.message_id}")
+        else:
+            self.channel.send(message, expect_ack=expect_ack)
+
+    # ------------------------------------------------------------------ receiving
+
+    def on_network_message(self, message: NetworkMessage) -> None:
+        """Delivery callback registered with the simulated network."""
+        if message.kind is MessageKind.ACK:
+            self._handle_ack(message)
+            return
+        if message.kind in (MessageKind.DATA, MessageKind.PING, MessageKind.PONG):
+            self._handle_data(message)
+            return
+        # Audit-protocol messages are handled by the audit layer, which
+        # registers its own endpoints; the monitor ignores them.
+
+    def _handle_data(self, message: NetworkMessage) -> None:
+        duplicate = message.message_id in self._seen_message_ids
+        self._seen_message_ids.add(message.message_id)
+        self.stats.messages_received += 1
+
+        if self.config.tamper_evident and duplicate:
+            # A retransmission means our acknowledgment may have been lost;
+            # re-acknowledge without logging the message a second time.
+            recv_sequence = self._recv_entry_for.get(message.message_id)
+            if recv_sequence is not None:
+                self._send_ack(message, entry_sequence=recv_sequence)
+            return
+
+        if self.config.tamper_evident and not duplicate:
+            if message.signature and self.keystore is not None \
+                    and self.keystore.has_identity(message.source):
+                # The AVMM verifies and logs the signature so auditors can
+                # re-check it (Section 4.3); a bad signature is still logged —
+                # the syntactic check will flag it.
+                self.keystore.verify(message.source, message.signed_payload(),
+                                     message.signature)
+                self.stats.signatures_verified += 1
+            entry = self.log.append(EntryType.RECV, {
+                **recv_content(source=message.source,
+                               payload_hash=message.payload_hash(),
+                               payload_size=len(message.payload),
+                               message_id=message.message_id,
+                               sender_signature=message.signature),
+                "payload": message.payload.hex(),
+                "kind": message.kind.value,
+            })
+            self._charge_daemon_for_entry(entry.size_bytes())
+            self._store_peer_authenticator(message)
+            self._recv_entry_for[message.message_id] = entry.sequence
+            self._send_ack(message, entry_sequence=entry.sequence)
+
+        if duplicate:
+            return  # retransmission: already delivered to the guest once
+
+        event = PacketDelivery(source=message.source, payload=message.payload,
+                               message_id=message.message_id)
+        delay = self.perf.incoming_packet_delay(len(message.payload))
+        if delay > 0:
+            self.scheduler.schedule_after(delay, lambda: self.deliver_event(event),
+                                          label=f"{self.identity}.rx:{message.message_id}")
+        else:
+            self.deliver_event(event)
+
+    def _send_ack(self, message: NetworkMessage, entry_sequence: int) -> None:
+        """Acknowledge an incoming message with an authenticator of its RECV entry."""
+        ack_entry = self.log.append(EntryType.ACK, ack_content(
+            peer=message.source, message_id=message.message_id,
+            direction="sent", acked_sequence=entry_sequence))
+        recv_entry = self.log.entry_at(entry_sequence)
+        authenticator = self.log.authenticator_for(recv_entry)
+        ack = NetworkMessage(source=self.identity, destination=message.source,
+                             payload=b"", kind=MessageKind.ACK,
+                             authenticator=authenticator.to_dict(),
+                             headers={"acked_message_id": message.message_id})
+        if self.config.signs_packets and self.keypair is not None:
+            ack.signature = self.keypair.sign(ack.signed_payload())
+            self.stats.signatures_generated += 1
+        self.stats.acks_sent += 1
+        self._charge_daemon_for_entry(ack_entry.size_bytes(),
+                                      signed=1 if ack.signature else 0)
+        if self.channel is not None:
+            delay = self.perf.ack_generation_delay()
+            if delay > 0:
+                self.scheduler.schedule_after(
+                    delay, lambda: self.channel.send(ack, expect_ack=False),
+                    label=f"{self.identity}.ack:{message.message_id}")
+            else:
+                self.channel.send(ack, expect_ack=False)
+
+    def _handle_ack(self, message: NetworkMessage) -> None:
+        self.stats.acks_received += 1
+        acked_id = str(message.headers.get("acked_message_id", ""))
+        if self.config.tamper_evident:
+            entry = self.log.append(EntryType.ACK, ack_content(
+                peer=message.source, message_id=acked_id,
+                direction="received", acked_sequence=0))
+            self._charge_daemon_for_entry(entry.size_bytes())
+            self._store_peer_authenticator(message)
+            if message.signature and self.keystore is not None \
+                    and self.keystore.has_identity(message.source):
+                self.keystore.verify(message.source, message.signed_payload(),
+                                     message.signature)
+                self.stats.signatures_verified += 1
+        if self.channel is not None and acked_id:
+            self.channel.acknowledge(acked_id)
+
+    def _store_peer_authenticator(self, message: NetworkMessage) -> None:
+        if not message.authenticator:
+            return
+        try:
+            authenticator = Authenticator.from_dict(message.authenticator)
+        except Exception:  # noqa: BLE001 - malformed authenticators are ignored here
+            return
+        self.received_authenticators.setdefault(message.source, []).append(authenticator)
+
+    def _on_give_up(self, message: NetworkMessage) -> None:
+        """A peer failed to acknowledge after repeated retransmissions."""
+        if message.destination not in self.stats.suspected_peers:
+            self.stats.suspected_peers.append(message.destination)
+
+    # ------------------------------------------------------------------ daemon accounting
+
+    def _charge_daemon_for_entry(self, entry_bytes: int, signed: int = 0,
+                                 verified: int = 0) -> None:
+        self.stats.daemon_cpu_seconds += self.perf.daemon_cpu_for_log(entry_bytes)
+        self.stats.daemon_cpu_seconds += self.perf.daemon_cpu_for_signatures(signed, verified)
+        self.stats.vmm_cpu_seconds += self.perf.vmm_cpu_for_recording(1, entry_bytes)
+
+    # ------------------------------------------------------------------ snapshots
+
+    def take_snapshot(self) -> int:
+        """Take an incremental snapshot now; returns the snapshot id."""
+        snapshot = self.snapshots.take(self.vm.get_full_state(),
+                                       self.vm.execution_timestamp)
+        self.recorder.record_snapshot(snapshot.snapshot_id, snapshot.state_root,
+                                      snapshot.execution)
+        return snapshot.snapshot_id
+
+    # ------------------------------------------------------------------ audit serving
+
+    def get_log_segment(self, first_sequence: Optional[int] = None,
+                        last_sequence: Optional[int] = None) -> LogSegment:
+        """Return a log segment for an auditor (the whole log by default)."""
+        if first_sequence is None and last_sequence is None:
+            return self.log.full_segment()
+        first = first_sequence if first_sequence is not None else 1
+        last = last_sequence if last_sequence is not None else len(self.log)
+        return self.log.segment(first, last)
+
+    def get_snapshot_segments(self) -> List[LogSegment]:
+        """Snapshot-delimited segments for spot checking."""
+        return self.log.segments_between_snapshots()
+
+    def authenticators_from(self, peer: str) -> List[Authenticator]:
+        """Authenticators this machine has collected from ``peer``."""
+        return list(self.received_authenticators.get(peer, []))
+
+    # ------------------------------------------------------------------ convenience
+
+    @property
+    def guest(self):
+        """The guest program running inside the AVM."""
+        return self.vm.guest
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary used in experiment reports."""
+        return {
+            "identity": self.identity,
+            "configuration": self.config.configuration.label,
+            "image": self.image.name,
+            "log_entries": len(self.log),
+            "log_bytes": self.log.size_bytes(),
+            "snapshots": self.snapshots.count,
+            "messages_sent": self.stats.messages_sent,
+            "messages_received": self.stats.messages_received,
+            "signatures_generated": self.stats.signatures_generated,
+        }

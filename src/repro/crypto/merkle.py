@@ -1,0 +1,125 @@
+"""Merkle hash trees over VM state.
+
+Section 4.4: *the AVMM also maintains a hash tree over the state; after each
+snapshot, it updates the tree and then records the top-level value in the
+log.*  The auditor uses the tree to authenticate whole snapshots or individual
+pages she downloads incrementally, and (Section 7.3) to *remove any part of
+the snapshot that is not necessary to replay the relevant segment* while still
+letting a third party check the remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.crypto import hashing
+from repro.errors import SnapshotError
+
+_LEAF_PREFIX = b"\x00leaf"
+_NODE_PREFIX = b"\x01node"
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for a single leaf.
+
+    ``path`` lists sibling hashes from the leaf up to (not including) the
+    root; ``index`` is the leaf position, which determines on which side each
+    sibling sits.
+    """
+
+    index: int
+    leaf_hash: bytes
+    path: tuple[bytes, ...]
+    tree_size: int
+
+    def verify(self, root: bytes) -> bool:
+        """Check the proof against an expected root hash."""
+        if self.index < 0 or self.index >= self.tree_size:
+            return False
+        node = self.leaf_hash
+        index = self.index
+        for sibling in self.path:
+            if index % 2 == 1:
+                node = hashing.hash_concat(_NODE_PREFIX, sibling, node)
+            else:
+                node = hashing.hash_concat(_NODE_PREFIX, node, sibling)
+            index //= 2
+        return node == root
+
+
+class MerkleTree:
+    """A Merkle tree built over an ordered sequence of leaf byte strings."""
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise SnapshotError("cannot build a Merkle tree over zero leaves")
+        self._leaf_hashes: List[bytes] = [
+            hashing.hash_concat(_LEAF_PREFIX, leaf) for leaf in leaves
+        ]
+        self._levels: List[List[bytes]] = [list(self._leaf_hashes)]
+        current = self._leaf_hashes
+        while len(current) > 1:
+            parent: List[bytes] = []
+            for i in range(0, len(current), 2):
+                # An unpaired last node is hashed with itself so every level
+                # pairs fully and every proof carries one sibling per level.
+                right = current[i + 1] if i + 1 < len(current) else current[i]
+                parent.append(hashing.hash_concat(_NODE_PREFIX, current[i], right))
+            self._levels.append(parent)
+            current = parent
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        """The top-level hash recorded in the tamper-evident log."""
+        return self._levels[-1][0]
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self._leaf_hashes)
+
+    def leaf_hash(self, index: int) -> bytes:
+        return self._leaf_hashes[index]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if index < 0 or index >= self.size:
+            raise SnapshotError(f"leaf index {index} out of range (size {self.size})")
+        path: List[bytes] = []
+        level_index = index
+        for level in self._levels[:-1]:
+            sibling_index = level_index ^ 1
+            if sibling_index >= len(level):
+                sibling_index = level_index  # unpaired node pairs with itself
+            path.append(level[sibling_index])
+            level_index //= 2
+        return MerkleProof(index=index, leaf_hash=self._leaf_hashes[index],
+                           path=tuple(path), tree_size=self.size)
+
+    @staticmethod
+    def root_of(leaves: Iterable[bytes]) -> bytes:
+        """Convenience: the root hash of ``leaves`` without keeping the tree."""
+        return MerkleTree(list(leaves)).root
+
+
+def verify_partial_state(root: bytes, pages: Dict[int, bytes],
+                         proofs: Dict[int, MerkleProof]) -> bool:
+    """Verify a *partial* snapshot download.
+
+    ``pages`` maps leaf index -> page bytes, ``proofs`` maps leaf index ->
+    inclusion proof.  Returns ``True`` only if every supplied page hashes to
+    its proof's leaf hash and every proof verifies against ``root``.
+    """
+    for index, page in pages.items():
+        proof = proofs.get(index)
+        if proof is None:
+            return False
+        if hashing.hash_concat(_LEAF_PREFIX, page) != proof.leaf_hash:
+            return False
+        if not proof.verify(root):
+            return False
+    return True

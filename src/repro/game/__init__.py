@@ -1,0 +1,29 @@
+"""A deterministic Counterstrike-like multi-player game.
+
+The game is the paper's evaluation application.  It is built as guest
+programs (:class:`~repro.game.server.GameServerGuest`,
+:class:`~repro.game.client.GameClientGuest`) that run unmodified inside AVMs:
+the server keeps the authoritative world state and broadcasts snapshots, the
+clients render frames, consume local keyboard/mouse input and send command
+packets.  The cheat catalogue (:mod:`repro.game.cheats`) reproduces the 26
+cheats examined in Table 1, each classified by how it interacts with the AVM.
+"""
+
+from repro.game.state import GameMap, GameState, PlayerState, Weapon
+from repro.game.engine import GameEngine
+from repro.game.server import GameServerGuest
+from repro.game.client import ClientSettings, GameClientGuest
+from repro.game.images import make_client_image, make_server_image
+
+__all__ = [
+    "GameMap",
+    "GameState",
+    "PlayerState",
+    "Weapon",
+    "GameEngine",
+    "GameServerGuest",
+    "GameClientGuest",
+    "ClientSettings",
+    "make_client_image",
+    "make_server_image",
+]

@@ -1,0 +1,91 @@
+"""Deterministic player behaviour ("the human at the keyboard").
+
+The experiments need players who move, aim and shoot.  A
+:class:`ScriptedPlayer` generates keyboard/mouse command strings from a seeded
+random stream and injects them into the player's AVMM as local input
+(:meth:`~repro.avmm.monitor.AccountableVMM.inject_local_input`) — exactly the
+surface a real player (or a re-engineered external aimbot, Section 5.4) uses.
+Because the commands enter through the recorded local-input channel, audits of
+honest players succeed regardless of how the player behaved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.avmm.monitor import AccountableVMM
+from repro.sim.process import Process
+from repro.sim.rng import RngStream
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class PlayerActivityStats:
+    """What the scripted player did (used to sanity-check workloads)."""
+
+    moves: int = 0
+    aims: int = 0
+    shots: int = 0
+    reloads: int = 0
+
+
+class ScriptedPlayer:
+    """Injects a deterministic stream of player commands into a client AVM."""
+
+    def __init__(self, monitor: AccountableVMM, scheduler: Scheduler, rng: RngStream,
+                 actions_per_second: float = 8.0) -> None:
+        self.monitor = monitor
+        self.scheduler = scheduler
+        self.rng = rng
+        self.actions_per_second = actions_per_second
+        self.stats = PlayerActivityStats()
+        self._process: Optional[Process] = None
+        self._heading = rng.uniform(0.0, 2.0 * math.pi)
+
+    def start(self, delay: float = 0.5) -> None:
+        """Begin issuing commands ``delay`` seconds from now."""
+        period = 1.0 / self.actions_per_second
+        self._process = Process(self.scheduler, period, on_tick=self._act,
+                                name=f"player:{self.monitor.identity}")
+        self._process.start(delay=delay)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def _act(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.55:
+            self._move()
+        elif roll < 0.75:
+            self._aim()
+        elif roll < 0.95:
+            self._fire()
+        else:
+            self._reload()
+
+    def _move(self) -> None:
+        # Mostly keep heading, occasionally turn.
+        if self.rng.random() < 0.3:
+            self._heading = self.rng.uniform(0.0, 2.0 * math.pi)
+        dx = math.cos(self._heading)
+        dy = math.sin(self._heading)
+        self.monitor.inject_local_input(f"move {dx:.3f} {dy:.3f}")
+        self.stats.moves += 1
+
+    def _aim(self) -> None:
+        angle = self.rng.uniform(0.0, 2.0 * math.pi)
+        self.monitor.inject_local_input(f"aim {angle:.4f}", device="mouse")
+        self.stats.aims += 1
+
+    def _fire(self) -> None:
+        self.monitor.inject_local_input("fire", device="mouse")
+        self.stats.shots += 1
+
+    def _reload(self) -> None:
+        self.monitor.inject_local_input("reload")
+        self.stats.reloads += 1

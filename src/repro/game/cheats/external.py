@@ -1,0 +1,85 @@
+"""Adversaries that operate *outside* the AVM.
+
+A malicious operator (Bob) controls the whole machine, including the AVMM
+itself (Section 3.4).  He cannot forge the cryptographic commitments, but he
+can tamper with packets after the guest produced them, drop them, or rewrite
+his log.  These adversaries exercise exactly those attacks so the tests and
+experiments can confirm the paper's claim that *the AVMM does not have to be
+trusted*: every manipulation is caught either by the authenticator check or by
+replay divergence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+from repro.avmm.monitor import AccountableVMM
+from repro.vm.guest import PacketOutput
+
+
+class PacketForgingAdversary:
+    """Rewrites selected outgoing packets *after* the guest produced them.
+
+    This models a cheat implemented entirely outside the AVM (or a tampered
+    AVMM): the guest's execution is untouched, but the machine's network-
+    visible behaviour no longer corresponds to it.  The SEND entries then
+    describe packets the reference execution never produced, so replay
+    diverges — a class-2 detection that works no matter how the cheat is
+    implemented.
+    """
+
+    def __init__(self, monitor: AccountableVMM,
+                 transform: Callable[[bytes], bytes]) -> None:
+        self.monitor = monitor
+        self.transform = transform
+        self.packets_forged = 0
+        self._original_send = monitor._send_guest_packet  # noqa: SLF001 - adversary
+        monitor._send_guest_packet = self._forged_send    # noqa: SLF001 - adversary
+
+    def _forged_send(self, packet: PacketOutput) -> None:
+        forged_payload = self.transform(packet.payload)
+        if forged_payload != packet.payload:
+            self.packets_forged += 1
+        self._original_send(PacketOutput(destination=packet.destination,
+                                         payload=forged_payload))
+
+    def detach(self) -> None:
+        """Stop forging (restores the monitor's original send path)."""
+        self.monitor._send_guest_packet = self._original_send  # noqa: SLF001
+
+
+def boost_fire_commands(payload: bytes) -> bytes:
+    """Example transform: inject extra fire commands into command packets."""
+    try:
+        packet = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return payload
+    if packet.get("type") != "commands":
+        return payload
+    commands = packet.get("commands", [])
+    commands.append({"action": "fire"})
+    commands.append({"action": "fire"})
+    packet["commands"] = commands
+    return json.dumps(packet, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class LogTamperingAdversary:
+    """Rewrites or drops entries in the machine's own log after the fact.
+
+    Caught by the authenticator check: the hash chain no longer matches the
+    authenticators the machine previously sent to its peers.
+    """
+
+    def __init__(self, monitor: AccountableVMM) -> None:
+        self.monitor = monitor
+
+    def rewrite_entry(self, sequence: int, new_content: Dict,
+                      recompute_chain: bool = True) -> None:
+        """Replace a log entry's content (optionally re-hashing the chain)."""
+        self.monitor.log.tamper_replace_entry(sequence, new_content,
+                                              recompute_chain=recompute_chain)
+
+    def drop_entry(self, sequence: int) -> None:
+        """Remove a log entry entirely."""
+        self.monitor.log.tamper_drop_entry(sequence)

@@ -1,0 +1,99 @@
+"""Authenticators: signed commitments to a log prefix.
+
+Section 4.3: *the authenticator for an entry ``e_i`` is ``a_i := (s_i, h_i,
+sigma(s_i || h_i))``*.  The sender attaches an authenticator (plus ``h_{i-1}``
+and the entry fields needed to recompute ``h_i``) to every outgoing message,
+and includes one in every acknowledgment, so its communication partners
+accumulate non-repudiable commitments to its log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.crypto import hashing
+from repro.crypto.keys import KeyPair, KeyStore
+from repro.errors import LogFormatError
+
+
+@dataclass(frozen=True)
+class Authenticator:
+    """A signed (sequence, chain-hash) pair issued by ``machine``.
+
+    ``previous_hash`` and ``entry_type``/``content_hash`` are included so the
+    recipient can recompute ``h_i`` and confirm that the covered entry really
+    is, e.g., ``SEND(m)`` for the message it just received (Section 4.3).
+    """
+
+    machine: str
+    sequence: int
+    chain_hash: bytes
+    signature: bytes
+    previous_hash: bytes
+    entry_type: str
+    content_hash: bytes
+
+    def signed_payload(self) -> bytes:
+        """The byte string covered by the signature: ``s_i || h_i``."""
+        return signed_payload(self.sequence, self.chain_hash)
+
+    def verify(self, keystore: KeyStore) -> bool:
+        """Verify the signature and internal consistency of the authenticator."""
+        recomputed = hashing.hash_concat(
+            self.previous_hash,
+            hashing.encode_int(self.sequence),
+            self.entry_type.encode("utf-8"),
+            self.content_hash,
+        )
+        if recomputed != self.chain_hash:
+            return False
+        return keystore.verify(self.machine, self.signed_payload(), self.signature)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise for transport or storage."""
+        return {
+            "machine": self.machine,
+            "sequence": self.sequence,
+            "chain_hash": self.chain_hash.hex(),
+            "signature": self.signature.hex(),
+            "previous_hash": self.previous_hash.hex(),
+            "entry_type": self.entry_type,
+            "content_hash": self.content_hash.hex(),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Authenticator":
+        try:
+            return Authenticator(
+                machine=str(data["machine"]),
+                sequence=int(data["sequence"]),
+                chain_hash=bytes.fromhex(data["chain_hash"]),
+                signature=bytes.fromhex(data["signature"]),
+                previous_hash=bytes.fromhex(data["previous_hash"]),
+                entry_type=str(data["entry_type"]),
+                content_hash=bytes.fromhex(data["content_hash"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise LogFormatError(f"malformed authenticator: {exc}") from exc
+
+
+def signed_payload(sequence: int, chain_hash: bytes) -> bytes:
+    """Canonical byte string the machine signs: ``s_i || h_i``."""
+    return hashing.hash_concat(hashing.encode_int(sequence), chain_hash)
+
+
+def make_authenticator(keypair: KeyPair, *, sequence: int, chain_hash: bytes,
+                       previous_hash: bytes, entry_type: str,
+                       content_hash: bytes) -> Authenticator:
+    """Create and sign an authenticator for the given log entry fields."""
+    signature = keypair.sign(signed_payload(sequence, chain_hash))
+    return Authenticator(
+        machine=keypair.identity,
+        sequence=sequence,
+        chain_hash=chain_hash,
+        signature=signature,
+        previous_hash=previous_hash,
+        entry_type=entry_type,
+        content_hash=content_hash,
+    )

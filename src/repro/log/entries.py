@@ -1,0 +1,195 @@
+"""Log entry types and canonical encodings.
+
+The AVMM's log interleaves two parallel streams of information (Section 4.4):
+message exchanges (SEND / RECV / ACK) and nondeterministic inputs (timer
+interrupts, clock reads, device inputs).  Snapshot hashes and audit-protocol
+records (challenges, evidence references) are also logged so they are covered
+by the hash chain.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.crypto import hashing
+from repro.errors import LogFormatError
+
+
+class EntryType(enum.Enum):
+    """Types of tamper-evident log entries."""
+
+    SEND = "send"                  # outgoing network message
+    RECV = "recv"                  # incoming network message (with sender signature)
+    ACK = "ack"                    # acknowledgment sent or received
+    NONDET = "nondet"              # nondeterministic input event (replay stream)
+    SNAPSHOT = "snapshot"          # hash-tree root of a VM snapshot
+    TIMETRACKER = "timetracker"    # VMM timing record (execution timestamps)
+    MACLAYER = "maclayer"          # MAC-layer record of a packet entering/leaving the AVM
+    CHALLENGE = "challenge"        # audit challenge received
+    RESPONSE = "response"          # response to an audit challenge
+    ANNOTATION = "annotation"      # free-form marker (experiment bookkeeping)
+
+    @property
+    def wire_name(self) -> str:
+        return self.value
+
+
+# Entry types that carry deterministic-replay information (used for the
+# Figure 4 log-content breakdown).
+REPLAY_ENTRY_TYPES = frozenset({
+    EntryType.NONDET, EntryType.TIMETRACKER, EntryType.MACLAYER,
+})
+
+# Entry types added purely for tamper evidence / accountability.
+ACCOUNTABILITY_ENTRY_TYPES = frozenset({
+    EntryType.SEND, EntryType.RECV, EntryType.ACK, EntryType.SNAPSHOT,
+    EntryType.CHALLENGE, EntryType.RESPONSE,
+})
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A single tamper-evident log entry.
+
+    ``content`` is a JSON-serialisable dictionary; its canonical encoding is
+    what gets hashed into the chain, so two logs with equal content produce
+    equal chain hashes.
+    """
+
+    sequence: int
+    entry_type: EntryType
+    content: Dict[str, Any]
+    chain_hash: bytes
+    previous_hash: bytes
+    timestamp: float = 0.0
+
+    def content_hash(self) -> bytes:
+        """Hash of the canonical encoding of the entry content."""
+        return hashing.hash_bytes(encode_content(self.content))
+
+    def size_bytes(self) -> int:
+        """Approximate on-disk size of the entry (content + fixed overhead)."""
+        # sequence (8) + type tag (up to 12) + chain hash (32) + timestamp (8)
+        return len(encode_content(self.content)) + 8 + 12 + 32 + 8
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary (used by :mod:`repro.log.storage`)."""
+        return {
+            "sequence": self.sequence,
+            "type": self.entry_type.wire_name,
+            "content": self.content,
+            "chain_hash": self.chain_hash.hex(),
+            "previous_hash": self.previous_hash.hex(),
+            "timestamp": self.timestamp,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "LogEntry":
+        """Reconstruct an entry from :meth:`to_dict` output."""
+        try:
+            return LogEntry(
+                sequence=int(data["sequence"]),
+                entry_type=EntryType(data["type"]),
+                content=dict(data["content"]),
+                chain_hash=bytes.fromhex(data["chain_hash"]),
+                previous_hash=bytes.fromhex(data["previous_hash"]),
+                timestamp=float(data.get("timestamp", 0.0)),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise LogFormatError(f"malformed log entry: {exc}") from exc
+
+
+def encode_content(content: Dict[str, Any]) -> bytes:
+    """Canonical byte encoding of entry content.
+
+    Keys are sorted and bytes values are hex-encoded so the encoding is stable
+    across processes and Python versions.
+    """
+    try:
+        return json.dumps(content, sort_keys=True, separators=(",", ":"),
+                          default=_default).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise LogFormatError(f"log entry content is not serialisable: {exc}") from exc
+
+
+def _default(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    raise TypeError(f"cannot encode {type(value)!r} in log entry content")
+
+
+def decode_bytes_fields(content: Dict[str, Any]) -> Dict[str, Any]:
+    """Undo the ``{"__bytes__": ...}`` encoding produced by :func:`encode_content`."""
+    def convert(value: Any) -> Any:
+        if isinstance(value, dict):
+            if set(value.keys()) == {"__bytes__"}:
+                return bytes.fromhex(value["__bytes__"])
+            return {k: convert(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [convert(v) for v in value]
+        return value
+
+    return {k: convert(v) for k, v in content.items()}
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors for the common entry payloads.
+# ---------------------------------------------------------------------------
+
+def send_content(destination: str, payload_hash: bytes, payload_size: int,
+                 message_id: str) -> Dict[str, Any]:
+    """Content dictionary for a SEND entry."""
+    return {
+        "destination": destination,
+        "payload_hash": payload_hash.hex(),
+        "payload_size": payload_size,
+        "message_id": message_id,
+    }
+
+
+def recv_content(source: str, payload_hash: bytes, payload_size: int,
+                 message_id: str, sender_signature: bytes) -> Dict[str, Any]:
+    """Content dictionary for a RECV entry (includes the sender's signature)."""
+    return {
+        "source": source,
+        "payload_hash": payload_hash.hex(),
+        "payload_size": payload_size,
+        "message_id": message_id,
+        "sender_signature": sender_signature.hex(),
+    }
+
+
+def ack_content(peer: str, message_id: str, direction: str,
+                acked_sequence: int) -> Dict[str, Any]:
+    """Content dictionary for an ACK entry (direction: 'sent' or 'received')."""
+    if direction not in ("sent", "received"):
+        raise LogFormatError(f"invalid ack direction {direction!r}")
+    return {
+        "peer": peer,
+        "message_id": message_id,
+        "direction": direction,
+        "acked_sequence": acked_sequence,
+    }
+
+
+def snapshot_content(snapshot_id: int, state_root: bytes,
+                     execution_counter: int) -> Dict[str, Any]:
+    """Content dictionary for a SNAPSHOT entry."""
+    return {
+        "snapshot_id": snapshot_id,
+        "state_root": state_root.hex(),
+        "execution_counter": execution_counter,
+    }
+
+
+def nondet_content(event_kind: str, execution_counter: int,
+                   data: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Content dictionary for a NONDET (nondeterministic input) entry."""
+    return {
+        "event_kind": event_kind,
+        "execution_counter": execution_counter,
+        "data": data or {},
+    }

@@ -1,0 +1,69 @@
+"""Hash-chain computation and verification.
+
+Section 4.3: ``h_i = H(h_{i-1} || s_i || t_i || H(c_i))`` with ``h_0 := 0``.
+Because the hash is second-pre-image resistant, modifying, reordering or
+dropping any entry breaks the chain and is detected when the segment is
+checked against a previously issued authenticator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.crypto import hashing
+from repro.errors import HashChainError
+from repro.log.entries import EntryType, LogEntry, encode_content
+
+
+def chain_hash(previous_hash: bytes, sequence: int, entry_type: EntryType,
+               content: dict) -> bytes:
+    """Compute ``h_i`` from ``h_{i-1}`` and the entry fields."""
+    content_hash = hashing.hash_bytes(encode_content(content))
+    return hashing.hash_concat(
+        previous_hash,
+        hashing.encode_int(sequence),
+        entry_type.wire_name.encode("utf-8"),
+        content_hash,
+    )
+
+
+def verify_entry(entry: LogEntry) -> bool:
+    """Check a single entry's chain hash against its own fields."""
+    expected = chain_hash(entry.previous_hash, entry.sequence, entry.entry_type,
+                          entry.content)
+    return expected == entry.chain_hash
+
+
+def verify_chain(entries: Sequence[LogEntry], *,
+                 expected_start_hash: bytes | None = None) -> None:
+    """Verify that ``entries`` form an unbroken hash chain.
+
+    ``expected_start_hash`` is the chain value immediately *before* the first
+    entry (``h_{i-1}``); when auditing a segment that does not start at the
+    beginning of the log it comes from the preceding snapshot entry or an
+    earlier authenticator.  Raises :class:`HashChainError` on any break.
+    """
+    previous: bytes | None = expected_start_hash
+    previous_sequence: int | None = None
+    for entry in entries:
+        if previous is not None and entry.previous_hash != previous:
+            raise HashChainError(
+                f"chain break at sequence {entry.sequence}: previous hash mismatch")
+        if previous_sequence is not None and entry.sequence != previous_sequence + 1:
+            raise HashChainError(
+                f"non-contiguous sequence numbers: {previous_sequence} -> {entry.sequence}")
+        if not verify_entry(entry):
+            raise HashChainError(
+                f"entry {entry.sequence} does not hash to its recorded chain value")
+        previous = entry.chain_hash
+        previous_sequence = entry.sequence
+
+
+def is_chain_intact(entries: Iterable[LogEntry], *,
+                    expected_start_hash: bytes | None = None) -> bool:
+    """Boolean form of :func:`verify_chain`."""
+    try:
+        verify_chain(list(entries), expected_start_hash=expected_start_hash)
+    except HashChainError:
+        return False
+    return True

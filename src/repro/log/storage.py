@@ -1,0 +1,107 @@
+"""Serialisation of logs, segments and authenticators.
+
+Logs travel over the (simulated) network during audits and can be persisted to
+disk for offline auditing, so both byte-level and file-level round-trips are
+supported.  The wire format is JSON-lines: one JSON object per entry, preceded
+by a header object.  JSON keeps the format debuggable; the compression module
+(:mod:`repro.log.compression`) handles making it small.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import LogFormatError
+from repro.log.authenticator import Authenticator
+from repro.log.entries import LogEntry
+from repro.log.segments import LogSegment
+
+_FORMAT_VERSION = 1
+
+
+def segment_to_bytes(segment: LogSegment) -> bytes:
+    """Serialise a segment to JSON-lines bytes."""
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "log_segment",
+        "machine": segment.machine,
+        "start_hash": segment.start_hash.hex(),
+        "entry_count": len(segment.entries),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(entry.to_dict(), sort_keys=True) for entry in segment.entries)
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def segment_from_bytes(data: bytes) -> LogSegment:
+    """Parse a segment previously produced by :func:`segment_to_bytes`."""
+    lines = data.decode("utf-8").splitlines()
+    if not lines:
+        raise LogFormatError("empty segment data")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"bad segment header: {exc}") from exc
+    if header.get("kind") != "log_segment":
+        raise LogFormatError(f"not a log segment: kind={header.get('kind')!r}")
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise LogFormatError(f"unsupported format version {header.get('format_version')!r}")
+    entries: List[LogEntry] = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            entries.append(LogEntry.from_dict(json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"bad log entry line: {exc}") from exc
+    if len(entries) != int(header.get("entry_count", len(entries))):
+        raise LogFormatError(
+            f"entry count mismatch: header says {header.get('entry_count')}, "
+            f"found {len(entries)}")
+    return LogSegment(machine=str(header["machine"]),
+                      start_hash=bytes.fromhex(header["start_hash"]),
+                      entries=entries)
+
+
+def write_segment(segment: LogSegment, path: Union[str, Path]) -> int:
+    """Write a segment to ``path``; returns the number of bytes written."""
+    data = segment_to_bytes(segment)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def read_segment(path: Union[str, Path]) -> LogSegment:
+    """Read a segment previously written with :func:`write_segment`."""
+    return segment_from_bytes(Path(path).read_bytes())
+
+
+def authenticators_to_bytes(authenticators: Iterable[Authenticator]) -> bytes:
+    """Serialise a collection of authenticators to JSON-lines bytes."""
+    lines = [json.dumps({"format_version": _FORMAT_VERSION, "kind": "authenticators"},
+                        sort_keys=True)]
+    lines.extend(json.dumps(auth.to_dict(), sort_keys=True) for auth in authenticators)
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def authenticators_from_bytes(data: bytes) -> List[Authenticator]:
+    """Parse authenticators serialised by :func:`authenticators_to_bytes`."""
+    lines = data.decode("utf-8").splitlines()
+    if not lines:
+        raise LogFormatError("empty authenticator data")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"bad authenticator header: {exc}") from exc
+    if header.get("kind") != "authenticators":
+        raise LogFormatError(f"not an authenticator file: kind={header.get('kind')!r}")
+    result = []
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            result.append(Authenticator.from_dict(json.loads(line)))
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"bad authenticator line: {exc}") from exc
+    return result

@@ -1,0 +1,92 @@
+"""Round-trip-time measurement (Figure 5).
+
+The experiment sends echo requests between two machines and records when the
+reply arrives.  :class:`LatencyRecorder` timestamps request/response pairs on
+simulated time; :func:`summarize_rtts` produces the median and the 5th/95th
+percentiles the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class RttSample:
+    """One request/response round trip."""
+
+    request_id: str
+    sent_at: float
+    received_at: Optional[float] = None
+
+    @property
+    def rtt(self) -> Optional[float]:
+        if self.received_at is None:
+            return None
+        return self.received_at - self.sent_at
+
+
+class LatencyRecorder:
+    """Tracks outstanding echo requests and completed round trips."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, RttSample] = {}
+
+    def note_sent(self, request_id: str, time: float) -> None:
+        self._samples[request_id] = RttSample(request_id=request_id, sent_at=time)
+
+    def note_received(self, request_id: str, time: float) -> None:
+        sample = self._samples.get(request_id)
+        if sample is not None and sample.received_at is None:
+            sample.received_at = time
+
+    @property
+    def completed(self) -> List[RttSample]:
+        return [s for s in self._samples.values() if s.received_at is not None]
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for s in self._samples.values() if s.received_at is None)
+
+    def rtts(self) -> List[float]:
+        """Completed round-trip times, in the order the requests were sent."""
+        return [s.rtt for s in sorted(self.completed, key=lambda s: s.sent_at)]
+
+
+@dataclass(frozen=True)
+class RttSummary:
+    """Median and tail percentiles of a set of round-trip times."""
+
+    count: int
+    median: float
+    p05: float
+    p95: float
+    mean: float
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of ``values`` (fraction in [0, 1])."""
+    if not values:
+        raise ValueError("cannot take the percentile of an empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize_rtts(rtts: Sequence[float]) -> RttSummary:
+    """Summary statistics for a set of round-trip times."""
+    if not rtts:
+        raise ValueError("no round trips completed")
+    return RttSummary(
+        count=len(rtts),
+        median=percentile(rtts, 0.5),
+        p05=percentile(rtts, 0.05),
+        p95=percentile(rtts, 0.95),
+        mean=sum(rtts) / len(rtts),
+    )

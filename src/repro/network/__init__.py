@@ -1,0 +1,24 @@
+"""Simulated network substrate.
+
+The AVMM's accountability protocol runs over a network: every payload is
+wrapped in a :class:`~repro.network.message.NetworkMessage` envelope that can
+carry a sender signature, an attached authenticator and protocol headers, and
+the :class:`~repro.network.simnet.SimulatedNetwork` delivers envelopes between
+registered endpoints on simulated time with configurable latency, loss and
+partitions.  :class:`~repro.network.channel.ReliableChannel` adds
+acknowledgment tracking and retransmission (assumption 1 of Section 4.1: all
+messages are eventually received if retransmitted sufficiently often).
+"""
+
+from repro.network.message import MessageKind, NetworkMessage
+from repro.network.simnet import LinkSpec, NetworkStats, SimulatedNetwork
+from repro.network.channel import ReliableChannel
+
+__all__ = [
+    "MessageKind",
+    "NetworkMessage",
+    "SimulatedNetwork",
+    "LinkSpec",
+    "NetworkStats",
+    "ReliableChannel",
+]

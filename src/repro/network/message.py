@@ -1,0 +1,124 @@
+"""Network message envelopes.
+
+An envelope carries the application payload plus the accountability headers
+the AVMM adds: the sender's signature over the payload, the sender's
+authenticator (its commitment to the SEND entry), and acknowledgment
+references.  Envelope sizes are tracked explicitly because the traffic
+overhead of per-packet signatures is one of the paper's measurements
+(Section 6.7).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.crypto import hashing
+
+# IP + UDP header bytes counted for raw traffic accounting, matching the
+# paper's "raw, IP-level network traffic" measurement.
+IP_UDP_HEADER_BYTES = 28
+# TCP encapsulation used by the AVMM daemon connection (Section 6.7).
+TCP_HEADER_BYTES = 40
+
+_message_counter = itertools.count(1)
+
+
+class MessageKind(enum.Enum):
+    """What role an envelope plays in the protocol."""
+
+    DATA = "data"                     # application payload (game packet, query)
+    ACK = "ack"                       # acknowledgment carrying an authenticator
+    AUDIT_REQUEST = "audit_request"   # auditor asks for a log segment
+    AUDIT_RESPONSE = "audit_response" # machine returns a log segment / snapshot
+    CHALLENGE = "challenge"           # forwarded challenge (multi-party, Section 4.6)
+    CHALLENGE_RESPONSE = "challenge_response"
+    EVIDENCE = "evidence"             # evidence distributed to other parties
+    PING = "ping"                     # latency measurement (Figure 5)
+    PONG = "pong"
+
+
+@dataclass
+class NetworkMessage:
+    """An envelope travelling over the simulated network."""
+
+    source: str
+    destination: str
+    payload: bytes
+    kind: MessageKind = MessageKind.DATA
+    message_id: str = ""
+    signature: bytes = b""
+    authenticator: Optional[Dict[str, Any]] = None
+    headers: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.message_id:
+            self.message_id = f"m{next(_message_counter):010d}"
+
+    # -- crypto helpers -------------------------------------------------------
+
+    def payload_hash(self) -> bytes:
+        """Hash of the payload (what signatures and log entries refer to)."""
+        return hashing.hash_bytes(self.payload)
+
+    def signed_payload(self) -> bytes:
+        """Byte string covered by the sender's signature."""
+        return hashing.hash_concat(
+            self.source.encode("utf-8"),
+            self.destination.encode("utf-8"),
+            self.message_id.encode("utf-8"),
+            self.kind.value.encode("utf-8"),
+            self.payload_hash(),
+        )
+
+    # -- size accounting ------------------------------------------------------
+
+    def wire_size(self, encapsulate_tcp: bool = False) -> int:
+        """Total bytes this envelope occupies on the wire.
+
+        Includes the payload, signature, serialised authenticator and protocol
+        headers; ``encapsulate_tcp`` adds the TCP framing the AVMM uses for
+        its daemon connection.
+        """
+        size = IP_UDP_HEADER_BYTES + len(self.payload) + len(self.signature)
+        size += len(self.message_id) + 8  # id + kind tag
+        if self.authenticator is not None:
+            size += _authenticator_wire_size(self.authenticator)
+        for key, value in self.headers.items():
+            size += len(str(key)) + len(str(value))
+        if encapsulate_tcp:
+            size += TCP_HEADER_BYTES
+        return size
+
+    def copy_for_forwarding(self, new_destination: str) -> "NetworkMessage":
+        """Copy the envelope addressed to another party (challenge forwarding)."""
+        return NetworkMessage(
+            source=self.source,
+            destination=new_destination,
+            payload=self.payload,
+            kind=self.kind,
+            message_id=f"{self.message_id}-fwd-{new_destination}",
+            signature=self.signature,
+            authenticator=dict(self.authenticator) if self.authenticator else None,
+            headers=dict(self.headers),
+        )
+
+
+def _authenticator_wire_size(auth: Dict[str, Any]) -> int:
+    """Approximate serialised size of an attached authenticator."""
+    size = 0
+    for key, value in auth.items():
+        size += len(str(key))
+        if isinstance(value, str):
+            size += len(value) // 2 if _looks_hex(value) else len(value)
+        else:
+            size += 8
+    return size
+
+
+def _looks_hex(value: str) -> bool:
+    if not value or len(value) % 2:
+        return False
+    return all(c in "0123456789abcdefABCDEF" for c in value)

@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel.
+
+Every host, network link and CPU in the reproduction runs on simulated time so
+experiments are fully deterministic and independent of wall-clock speed.  The
+kernel is intentionally small:
+
+* :class:`~repro.sim.clock.SimClock` — monotone simulated time in seconds.
+* :class:`~repro.sim.scheduler.Scheduler` — priority-queue event loop.
+* :class:`~repro.sim.process.Process` — cooperative simulated processes.
+* :class:`~repro.sim.rng.RngStream` — named, seeded random streams so each
+  subsystem draws from its own reproducible sequence.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.scheduler import Scheduler, ScheduledEvent
+from repro.sim.process import Process, ProcessState
+from repro.sim.rng import RngStream, RngRegistry
+
+__all__ = [
+    "SimClock",
+    "Scheduler",
+    "ScheduledEvent",
+    "Process",
+    "ProcessState",
+    "RngStream",
+    "RngRegistry",
+]

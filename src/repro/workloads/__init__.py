@@ -1,0 +1,22 @@
+"""Secondary workloads.
+
+* :mod:`repro.workloads.kvstore` / :mod:`repro.workloads.sqlbench` — a
+  client/server database workload standing in for the MySQL + ``sql-bench``
+  setup of the spot-checking experiment (Section 6.12, Figure 9).
+* :mod:`repro.workloads.echo` — a trivial echo responder used for the ping
+  round-trip-time measurements (Figure 5).
+"""
+
+from repro.workloads.echo import EchoGuest, make_echo_image
+from repro.workloads.kvstore import KvServerGuest, make_kvserver_image
+from repro.workloads.sqlbench import SqlBenchClientGuest, SqlBenchSettings, make_sqlbench_image
+
+__all__ = [
+    "EchoGuest",
+    "make_echo_image",
+    "KvServerGuest",
+    "make_kvserver_image",
+    "SqlBenchClientGuest",
+    "SqlBenchSettings",
+    "make_sqlbench_image",
+]

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (certified key pairs, a short recorded game session) are
+session-scoped so the many tests that only *read* them do not pay for them
+repeatedly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avmm.config import AvmmConfig, Configuration
+from repro.avmm.monitor import AccountableVMM
+from repro.crypto.keys import CertificateAuthority, KeyStore
+from repro.experiments.harness import GameSession, GameSessionSettings
+from repro.game.cheats.implementations import UnlimitedAmmoCheat
+
+
+@pytest.fixture(scope="session")
+def ca() -> CertificateAuthority:
+    """A certificate authority using real RSA-768 keys."""
+    return CertificateAuthority(scheme="rsa768", seed=1234)
+
+
+@pytest.fixture(scope="session")
+def keystore(ca) -> KeyStore:
+    """A keystore pre-loaded with certificates for the standard test parties."""
+    store = KeyStore(ca)
+    for identity in ("alice", "bob", "charlie", "server",
+                     "player1", "player2", "player3"):
+        store.add_certificate(ca.issue(identity).certificate)
+    return store
+
+
+@pytest.fixture(scope="session")
+def honest_session() -> GameSession:
+    """A short, fully honest 3-player game recorded under avmm-rsa768."""
+    settings = GameSessionSettings(
+        configuration=Configuration.AVMM_RSA768,
+        num_players=3, duration=6.0, seed=11, snapshot_interval=3.0)
+    session = GameSession(settings)
+    session.run()
+    return session
+
+
+@pytest.fixture(scope="session")
+def cheater_session() -> GameSession:
+    """A short game in which player1 runs the unlimited-ammo cheat image."""
+    settings = GameSessionSettings(
+        configuration=Configuration.AVMM_RSA768,
+        num_players=2, duration=6.0, seed=12, snapshot_interval=3.0,
+        cheats={"player1": UnlimitedAmmoCheat()})
+    session = GameSession(settings)
+    session.run()
+    return session

@@ -1,0 +1,197 @@
+"""Tests for the cryptographic substrate: hashing, primes, RSA, keys, schemes."""
+
+import pytest
+
+from repro.crypto import hashing
+from repro.crypto.keys import CertificateAuthority, KeyStore
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.rsa import generate_keypair
+from repro.crypto.signatures import NullScheme, RsaScheme, SimulatedEsignScheme, get_scheme
+from repro.errors import CertificateError, KeyGenerationError, SignatureError
+
+import random
+
+
+class TestHashing:
+    def test_hash_is_32_bytes(self):
+        assert len(hashing.hash_bytes(b"x")) == hashing.HASH_SIZE_BYTES
+
+    def test_hash_deterministic(self):
+        assert hashing.hash_bytes(b"abc") == hashing.hash_bytes(b"abc")
+
+    def test_hash_hex_matches_bytes(self):
+        assert hashing.hash_hex(b"abc") == hashing.hash_bytes(b"abc").hex()
+
+    def test_concat_framing_prevents_ambiguity(self):
+        assert hashing.hash_concat(b"ab", b"c") != hashing.hash_concat(b"a", b"bc")
+
+    def test_concat_differs_from_plain_hash(self):
+        assert hashing.hash_concat(b"abc") != hashing.hash_bytes(b"abc")
+
+    def test_hash_object_key_order_independent(self):
+        assert hashing.hash_object({"a": 1, "b": 2}) == hashing.hash_object({"b": 2, "a": 1})
+
+    def test_hash_object_encodes_bytes(self):
+        assert hashing.hash_object({"k": b"\x01\x02"}) == hashing.hash_object({"k": b"\x01\x02"})
+
+    def test_hash_object_rejects_unencodable(self):
+        with pytest.raises(TypeError):
+            hashing.hash_object({"k": object()})
+
+    def test_encode_int_width(self):
+        assert hashing.encode_int(1) == b"\x00" * 7 + b"\x01"
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 97, 229):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 100, 221, 561, 41041):  # includes Carmichael numbers
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2 ** 127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2 ** 127 - 1) * 3)
+
+    def test_generate_prime_has_exact_bit_length(self):
+        rng = random.Random(0)
+        p = generate_prime(128, rng)
+        assert p.bit_length() == 128
+        assert is_probable_prime(p)
+
+    def test_generate_prime_rejects_tiny_sizes(self):
+        with pytest.raises(KeyGenerationError):
+            generate_prime(4, random.Random(0))
+
+
+class TestRsa:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_keypair(bits=512, seed=99)
+
+    def test_sign_verify_roundtrip(self, keypair):
+        signature = keypair.sign(b"hello")
+        assert keypair.public.verify(b"hello", signature)
+
+    def test_wrong_message_fails(self, keypair):
+        signature = keypair.sign(b"hello")
+        assert not keypair.public.verify(b"goodbye", signature)
+
+    def test_tampered_signature_fails(self, keypair):
+        signature = bytearray(keypair.sign(b"hello"))
+        signature[0] ^= 0xFF
+        assert not keypair.public.verify(b"hello", bytes(signature))
+
+    def test_wrong_length_signature_fails(self, keypair):
+        assert not keypair.public.verify(b"hello", b"\x00" * 10)
+
+    def test_signature_length_matches_modulus(self, keypair):
+        assert len(keypair.sign(b"x")) == keypair.public.byte_length()
+
+    def test_deterministic_keygen(self):
+        a = generate_keypair(bits=512, seed=5)
+        b = generate_keypair(bits=512, seed=5)
+        assert a.modulus == b.modulus
+
+    def test_different_seeds_different_keys(self):
+        a = generate_keypair(bits=512, seed=5)
+        b = generate_keypair(bits=512, seed=6)
+        assert a.modulus != b.modulus
+
+    def test_fingerprint_stable(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+        assert len(keypair.public.fingerprint()) == 16
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(bits=128)
+
+
+class TestSignatureSchemes:
+    def test_get_scheme_rsa(self):
+        scheme = get_scheme("rsa768")
+        assert isinstance(scheme, RsaScheme)
+        assert scheme.bits == 768
+
+    def test_get_scheme_cached(self):
+        assert get_scheme("rsa768") is get_scheme("rsa768")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SignatureError):
+            get_scheme("dsa")
+
+    def test_rsa_scheme_sign_verify(self):
+        key = RsaScheme(512).generate("alice", seed=1)
+        signature = key.sign(b"msg")
+        assert key.verify_key.verify(b"msg", signature)
+        assert not key.verify_key.verify(b"other", signature)
+
+    def test_esign_scheme_sign_verify(self):
+        key = SimulatedEsignScheme().generate("alice", seed=1)
+        signature = key.sign(b"msg")
+        assert key.verify_key.verify(b"msg", signature)
+        assert not key.verify_key.verify(b"other", signature)
+
+    def test_null_scheme_accepts_everything(self):
+        key = NullScheme().generate("alice")
+        assert key.sign(b"msg") == b""
+        assert key.verify_key.verify(b"anything", b"")
+
+    def test_costs_ordering(self):
+        rsa = get_scheme("rsa768").costs()
+        esign = get_scheme("esign2046-sim").costs()
+        null = get_scheme("nosig").costs()
+        assert rsa.sign_seconds > esign.sign_seconds > null.sign_seconds
+        assert null.signature_bytes == 0
+
+    def test_rsa_cost_scales_with_key_size(self):
+        assert get_scheme("rsa2048").costs().sign_seconds > get_scheme("rsa768").costs().sign_seconds
+
+
+class TestCertificates:
+    def test_issue_and_verify(self, ca):
+        pair = ca.issue("dave")
+        assert ca.verify_certificate(pair.certificate)
+
+    def test_issue_is_idempotent(self, ca):
+        assert ca.issue("erin") is ca.issue("erin")
+
+    def test_keystore_verifies_signatures(self, ca, keystore):
+        alice = ca.issue("alice")
+        signature = alice.sign(b"payload")
+        assert keystore.verify("alice", b"payload", signature)
+        assert not keystore.verify("alice", b"other", signature)
+        assert not keystore.verify("bob", b"payload", signature)
+
+    def test_keystore_rejects_unknown_identity(self, keystore):
+        with pytest.raises(CertificateError):
+            keystore.verify_key_for("nobody")
+        assert not keystore.verify("nobody", b"x", b"y")
+
+    def test_keystore_rejects_foreign_certificate(self, keystore):
+        other_ca = CertificateAuthority(scheme="rsa768", seed=999, identity="rogue-ca")
+        rogue = other_ca.issue("mallory")
+        with pytest.raises(CertificateError):
+            keystore.add_certificate(rogue.certificate)
+
+    def test_keystore_rejects_conflicting_certificate(self, ca):
+        store = KeyStore(ca)
+        store.add_certificate(ca.issue("alice").certificate)
+        # Re-adding the same certificate is fine.
+        store.add_certificate(ca.issue("alice").certificate)
+        assert store.has_identity("alice")
+
+    def test_require_valid_raises(self, ca, keystore):
+        alice = ca.issue("alice")
+        keystore.require_valid("alice", b"m", alice.sign(b"m"))
+        with pytest.raises(SignatureError):
+            keystore.require_valid("alice", b"m", b"bad")
+
+    def test_identities_sorted(self, keystore):
+        identities = keystore.identities()
+        assert identities == sorted(identities)
+        assert "alice" in identities

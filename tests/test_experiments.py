@@ -1,0 +1,168 @@
+"""Smoke tests for the experiment harness and every table/figure runner.
+
+Each experiment is run at a much smaller scale than the paper's (seconds of
+simulated time instead of half-hour games) — enough to exercise the full code
+path and check that the *shape* of the result matches the paper's claims.
+"""
+
+import pytest
+
+from repro.audit.online import OnlineAuditor
+from repro.audit.verdict import Verdict
+from repro.avmm.config import Configuration
+from repro.experiments import fig3_log_growth, fig4_log_content, fig5_latency
+from repro.experiments import fig7_frame_rate, fig8_online_audit, fig9_spot_check
+from repro.experiments import fig6_cpu, sec65_frame_cap, sec66_audit_cost, sec67_traffic
+from repro.experiments import table1
+from repro.experiments.harness import GameSession, GameSessionSettings, format_table
+from repro.game.cheats.implementations import UnlimitedAmmoCheat
+
+
+class TestHarness:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "30" in lines[3]
+
+    def test_session_reference_vs_installed_images(self, cheater_session):
+        assert cheater_session.installed_images["player1"] is not \
+            cheater_session.reference_images["player1"]
+        assert cheater_session.installed_images["player2"] is \
+            cheater_session.reference_images["player2"]
+
+    def test_session_traffic_accounting(self, honest_session):
+        assert honest_session.traffic_kbps("server") > 0
+
+
+class TestTable1:
+    def test_catalog_summary_only(self):
+        result = table1.run_table1(run_functional=False)
+        assert result.summary.total == 26
+        assert result.summary.detectable == 26
+        assert result.functional_checks == []
+
+    def test_functional_check_detects_cheater(self):
+        check = table1.run_functional_check(UnlimitedAmmoCheat(), duration=6.0,
+                                            num_players=2)
+        assert check.cheater_detected
+        assert check.honest_players_passed
+
+
+class TestFigure3And4:
+    def test_log_growth_shape(self):
+        result = fig3_log_growth.run_log_growth(duration=20.0, num_players=2,
+                                                sample_interval=5.0)
+        assert result.avmm_mb_per_minute > result.vmware_mb_per_minute > 0
+        assert result.avmm_series[-1][1] > result.avmm_series[0][1]
+
+    def test_log_content_shape(self):
+        result = fig4_log_content.run_log_content(duration=20.0, num_players=2)
+        assert result.replay_fraction > 0.5
+        assert result.compressed_mb_per_minute < result.total_mb_per_minute
+        # TimeTracker entries are the single largest category (Figure 4).
+        assert result.breakdown.fraction("timetracker") == max(
+            result.breakdown.fraction(c) for c in result.breakdown.bytes_by_category)
+
+
+class TestFigure5:
+    def test_latency_ordering(self):
+        result = fig5_latency.run_latency(pings=10)
+        medians = [result.summaries[c].median for c in (
+            Configuration.BARE_HW, Configuration.VMWARE_NOREC,
+            Configuration.VMWARE_REC, Configuration.AVMM_NOSIG,
+            Configuration.AVMM_RSA768)]
+        assert medians == sorted(medians)
+        assert result.median_ms(Configuration.BARE_HW) < 0.5
+        assert result.median_ms(Configuration.AVMM_RSA768) > 2.0
+
+
+class TestFigure6And7:
+    @pytest.fixture(scope="class")
+    def frame_rate_result(self):
+        return fig7_frame_rate.run_frame_rate(duration=8.0, num_players=2)
+
+    def test_frame_rate_ordering(self, frame_rate_result):
+        fps = [frame_rate_result.average_fps(c) for c in (
+            Configuration.BARE_HW, Configuration.VMWARE_REC, Configuration.AVMM_RSA768)]
+        assert fps[0] > fps[1] >= fps[2]
+
+    def test_total_drop_in_paper_ballpark(self, frame_rate_result):
+        drop = frame_rate_result.relative_drop(Configuration.AVMM_RSA768)
+        assert 0.05 < drop < 0.30  # paper: ~13 %
+
+    def test_recording_is_the_biggest_single_step(self, frame_rate_result):
+        norec = frame_rate_result.average_fps(Configuration.VMWARE_NOREC)
+        rec = frame_rate_result.average_fps(Configuration.VMWARE_REC)
+        avmm = frame_rate_result.average_fps(Configuration.AVMM_RSA768)
+        assert (norec - rec) > (rec - avmm)
+
+    def test_pinned_ablation_costs_frames(self, frame_rate_result):
+        assert frame_rate_result.pinned_sample.frames_per_second < \
+            frame_rate_result.average_fps(Configuration.AVMM_RSA768)
+
+    def test_cpu_utilisation_shape(self):
+        result = fig6_cpu.run_cpu(duration=8.0, num_players=2,
+                                  configurations=[Configuration.BARE_HW,
+                                                  Configuration.AVMM_RSA768])
+        for utilization in result.utilizations.values():
+            assert 0.10 < utilization.average < 0.30
+        avmm = result.utilizations[Configuration.AVMM_RSA768]
+        assert avmm.daemon_ht_utilization < 0.20
+
+
+class TestFigure8:
+    def test_online_audit_detects_cheat_and_costs_frames(self):
+        result = fig8_online_audit.run_online_audit(duration=20.0, num_players=2,
+                                                    audit_interval=5.0)
+        fps = result.fps_by_audit_count
+        assert fps[0] > fps[1] > fps[2]
+        assert result.detection_time is not None
+        assert result.detection_time <= 20.0
+
+    def test_online_auditor_passes_honest_machine(self, honest_session):
+        target = "player2"
+        online = OnlineAuditor(honest_session.make_auditor("player1", target),
+                               honest_session.monitors[target],
+                               honest_session.scheduler, interval=5.0)
+        record = online.run_once()
+        assert record is not None
+        assert record.verdict is Verdict.PASS
+        assert not online.fault_detected
+        assert online.audit_cpu_seconds > 0
+
+
+class TestFigure9:
+    def test_spot_check_costs_scale_with_k(self):
+        result = fig9_spot_check.run_spot_check(duration=60.0, snapshot_interval=10.0,
+                                                k_values=(1, 2, 3))
+        assert result.segments >= 4
+        assert all(p.all_passed for p in result.points)
+        fractions = [p.avg_time_fraction for p in result.points]
+        data_fractions = [p.avg_data_fraction for p in result.points]
+        assert fractions == sorted(fractions)
+        assert data_fractions == sorted(data_fractions)
+        # Fixed per-chunk cost: a 1-segment chunk still costs a visible fraction.
+        assert result.points[0].avg_data_fraction > 0.0
+
+
+class TestSection65:
+    def test_frame_cap_inflates_log_and_optimisation_recovers(self):
+        result = sec65_frame_cap.run_frame_cap(duration=3.0)
+        assert result.cap_growth_factor > 5.0
+        assert result.optimized_growth_factor < result.cap_growth_factor / 3.0
+
+
+class TestSection66And67:
+    def test_audit_cost_split(self):
+        result = sec66_audit_cost.run_audit_cost(duration=10.0, num_players=2)
+        assert result.audit_passed
+        assert result.semantic_seconds > result.syntactic_seconds
+        assert result.semantic_seconds > result.compression_seconds
+        assert 0.5 < result.semantic_fraction_of_recording < 2.0
+
+    def test_traffic_overhead(self):
+        result = sec67_traffic.run_traffic(duration=10.0, num_players=2)
+        assert result.overhead_factor > 1.5
+        avmm = result.kbps_by_configuration[Configuration.AVMM_RSA768]
+        assert avmm < 1000.0  # still far below broadband capacity

@@ -1,0 +1,168 @@
+"""Tests for segment concatenation/chunking, serialisation and compression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LogFormatError, SegmentError
+from repro.log.compression import VmmLogCompressor, bzip2_compress, bzip2_decompress
+from repro.log.entries import EntryType, nondet_content, snapshot_content
+from repro.log.segments import concatenate_segments, make_chunks
+from repro.log.storage import (
+    authenticators_from_bytes,
+    authenticators_to_bytes,
+    read_segment,
+    segment_from_bytes,
+    segment_to_bytes,
+    write_segment,
+)
+from repro.log.tamper_evident import TamperEvidentLog
+
+
+def build_log_with_snapshots(segments=4, entries_per_segment=5):
+    log = TamperEvidentLog("machine")
+    for s in range(segments):
+        for i in range(entries_per_segment):
+            log.append(EntryType.TIMETRACKER, {
+                "event_kind": "clock_read",
+                "execution_counter": s * 100 + i,
+                "branch_counter": s,
+                "value": 0.25 * i,
+            })
+        log.append(EntryType.SNAPSHOT, snapshot_content(s + 1, bytes([s]) * 32, s * 100))
+    return log
+
+
+class TestSegments:
+    def test_concatenate_contiguous(self):
+        log = build_log_with_snapshots()
+        segments = log.segments_between_snapshots()
+        chunk = concatenate_segments(segments[:2])
+        assert len(chunk) == len(segments[0]) + len(segments[1])
+        chunk.verify_hash_chain()
+
+    def test_concatenate_rejects_gap(self):
+        log = build_log_with_snapshots()
+        segments = log.segments_between_snapshots()
+        with pytest.raises(SegmentError):
+            concatenate_segments([segments[0], segments[2]])
+
+    def test_concatenate_rejects_mixed_machines(self):
+        log_a = build_log_with_snapshots(segments=1)
+        log_b = TamperEvidentLog("other")
+        log_b.append(EntryType.NONDET, nondet_content("x", 1))
+        with pytest.raises(SegmentError):
+            concatenate_segments([log_a.full_segment(), log_b.full_segment()])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(SegmentError):
+            concatenate_segments([])
+
+    def test_make_chunks_counts(self):
+        log = build_log_with_snapshots(segments=5)
+        segments = log.segments_between_snapshots()
+        assert len(make_chunks(segments, 1)) == len(segments)
+        assert len(make_chunks(segments, 2)) == len(segments) - 1
+        assert len(make_chunks(segments, 2, skip_initial=True)) == len(segments) - 2
+
+    def test_make_chunks_rejects_zero_k(self):
+        with pytest.raises(SegmentError):
+            make_chunks([], 0)
+
+    def test_segment_size_bytes(self):
+        log = build_log_with_snapshots(segments=1)
+        segment = log.full_segment()
+        assert segment.size_bytes() == sum(e.size_bytes() for e in segment.entries)
+
+    def test_empty_segment_properties(self):
+        segment = TamperEvidentLog("m").full_segment()
+        with pytest.raises(SegmentError):
+            _ = segment.first_sequence
+        with pytest.raises(SegmentError):
+            _ = segment.last_sequence
+
+
+class TestStorage:
+    def test_bytes_roundtrip(self):
+        segment = build_log_with_snapshots().full_segment()
+        assert segment_from_bytes(segment_to_bytes(segment)).to_dict() == segment.to_dict()
+
+    def test_file_roundtrip(self, tmp_path):
+        segment = build_log_with_snapshots(segments=1).full_segment()
+        path = tmp_path / "segment.log"
+        written = write_segment(segment, path)
+        assert written == path.stat().st_size
+        assert read_segment(path).to_dict() == segment.to_dict()
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(LogFormatError):
+            segment_from_bytes(b"")
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(LogFormatError):
+            segment_from_bytes(b'{"kind": "something-else"}\n')
+
+    def test_rejects_entry_count_mismatch(self):
+        segment = build_log_with_snapshots(segments=1).full_segment()
+        data = segment_to_bytes(segment)
+        truncated = b"\n".join(data.splitlines()[:-2]) + b"\n"
+        with pytest.raises(LogFormatError):
+            segment_from_bytes(truncated)
+
+    def test_authenticator_roundtrip(self, ca):
+        alice = ca.issue("alice")
+        log = TamperEvidentLog("alice", keypair=alice)
+        log.append(EntryType.NONDET, nondet_content("x", 1))
+        auths = [log.authenticator_for(log.entry_at(1))]
+        restored = authenticators_from_bytes(authenticators_to_bytes(auths))
+        assert restored[0].to_dict() == auths[0].to_dict()
+
+    def test_authenticator_rejects_wrong_kind(self):
+        with pytest.raises(LogFormatError):
+            authenticators_from_bytes(b'{"kind": "log_segment"}\n')
+
+
+class TestCompression:
+    def test_bzip2_roundtrip(self):
+        data = b"hello " * 1000
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+    def test_vmm_compressor_roundtrip(self):
+        segment = build_log_with_snapshots().full_segment()
+        compressor = VmmLogCompressor()
+        restored = compressor.decompress(compressor.compress(segment))
+        assert restored.to_dict() == segment.to_dict()
+
+    def test_vmm_compressor_shrinks_replay_logs(self):
+        segment = build_log_with_snapshots(segments=8, entries_per_segment=40).full_segment()
+        stats = VmmLogCompressor().stats(segment)
+        assert stats.compressed_bytes < stats.raw_bytes
+        assert 0 < stats.ratio < 1
+
+    def test_vmm_compressor_rejects_bad_magic(self):
+        with pytest.raises(LogFormatError):
+            VmmLogCompressor().decompress(b"not-a-compressed-log")
+
+    def test_compressed_segment_chain_still_verifies(self):
+        segment = build_log_with_snapshots().full_segment()
+        compressor = VmmLogCompressor()
+        restored = compressor.decompress(compressor.compress(segment))
+        restored.verify_hash_chain()
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10 ** 9),
+                              st.floats(min_value=0, max_value=1e6,
+                                        allow_nan=False, allow_infinity=False)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, rows):
+        log = TamperEvidentLog("machine")
+        for counter, value in rows:
+            log.append(EntryType.TIMETRACKER, {
+                "event_kind": "clock_read",
+                "execution_counter": counter,
+                "branch_counter": 0,
+                "value": value,
+            })
+        segment = log.full_segment()
+        compressor = VmmLogCompressor()
+        restored = compressor.decompress(compressor.compress(segment))
+        assert restored.to_dict() == segment.to_dict()

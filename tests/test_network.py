@@ -1,0 +1,178 @@
+"""Tests for the network substrate: envelopes, simulated network, reliable channel."""
+
+import pytest
+
+from repro.errors import ChannelError, DeliveryError
+from repro.network.channel import ReliableChannel
+from repro.network.message import MessageKind, NetworkMessage
+from repro.network.simnet import LinkSpec, SimulatedNetwork
+from repro.sim.scheduler import Scheduler
+
+
+def make_network():
+    scheduler = Scheduler()
+    network = SimulatedNetwork(scheduler)
+    return scheduler, network
+
+
+class TestNetworkMessage:
+    def test_message_ids_unique(self):
+        a = NetworkMessage(source="a", destination="b", payload=b"x")
+        b = NetworkMessage(source="a", destination="b", payload=b"x")
+        assert a.message_id != b.message_id
+
+    def test_payload_hash(self):
+        message = NetworkMessage(source="a", destination="b", payload=b"x")
+        assert len(message.payload_hash()) == 32
+
+    def test_signed_payload_covers_fields(self):
+        a = NetworkMessage(source="a", destination="b", payload=b"x", message_id="m")
+        b = NetworkMessage(source="a", destination="c", payload=b"x", message_id="m")
+        c = NetworkMessage(source="a", destination="b", payload=b"y", message_id="m")
+        assert a.signed_payload() != b.signed_payload()
+        assert a.signed_payload() != c.signed_payload()
+
+    def test_wire_size_grows_with_signature_and_authenticator(self):
+        bare = NetworkMessage(source="a", destination="b", payload=b"x" * 50)
+        signed = NetworkMessage(source="a", destination="b", payload=b"x" * 50,
+                                signature=b"s" * 96,
+                                authenticator={"chain_hash": "00" * 32, "sequence": 3})
+        assert signed.wire_size() > bare.wire_size()
+        assert signed.wire_size(encapsulate_tcp=True) > signed.wire_size()
+
+    def test_copy_for_forwarding(self):
+        original = NetworkMessage(source="a", destination="b", payload=b"x",
+                                  kind=MessageKind.CHALLENGE)
+        forwarded = original.copy_for_forwarding("c")
+        assert forwarded.destination == "c"
+        assert forwarded.source == "a"
+        assert forwarded.payload == original.payload
+        assert forwarded.message_id != original.message_id
+
+
+class TestSimulatedNetwork:
+    def test_delivery_with_latency(self):
+        scheduler, network = make_network()
+        received = []
+        network.register("bob", received.append)
+        network.send(NetworkMessage(source="alice", destination="bob", payload=b"hi"))
+        assert received == []  # not delivered synchronously
+        scheduler.run_all()
+        assert len(received) == 1
+        assert scheduler.clock.now > 0
+
+    def test_unknown_destination_raises(self):
+        _, network = make_network()
+        with pytest.raises(DeliveryError):
+            network.send(NetworkMessage(source="a", destination="ghost", payload=b""))
+
+    def test_partition_drops_messages(self):
+        scheduler, network = make_network()
+        received = []
+        network.register("bob", received.append)
+        network.partition("alice", "bob")
+        assert network.send(NetworkMessage(source="alice", destination="bob",
+                                           payload=b"x")) is False
+        scheduler.run_all()
+        assert received == []
+        network.heal_partition("alice", "bob")
+        assert network.send(NetworkMessage(source="alice", destination="bob",
+                                           payload=b"x")) is True
+        scheduler.run_all()
+        assert len(received) == 1
+
+    def test_lossy_link_drops_some(self):
+        scheduler, network = make_network()
+        received = []
+        network.register("bob", received.append)
+        network.set_link("alice", "bob", LinkSpec(loss_rate=1.0))
+        assert not network.send(NetworkMessage(source="alice", destination="bob",
+                                               payload=b"x"))
+        scheduler.run_all()
+        assert received == []
+
+    def test_stats_accounting(self):
+        scheduler, network = make_network()
+        network.register("bob", lambda m: None)
+        network.register("alice", lambda m: None)
+        network.send(NetworkMessage(source="alice", destination="bob", payload=b"x" * 100))
+        scheduler.run_all()
+        alice = network.stats_for("alice")
+        bob = network.stats_for("bob")
+        assert alice.messages_sent == 1 and bob.messages_received == 1
+        assert alice.bytes_sent > 100
+        assert alice.sent_kbps(1.0) > 0
+
+    def test_transmission_delay_depends_on_bandwidth(self):
+        slow = LinkSpec(bandwidth_bps=1e6)
+        fast = LinkSpec(bandwidth_bps=1e9)
+        assert slow.transmission_delay(1000) > fast.transmission_delay(1000)
+
+    def test_delivery_log(self):
+        scheduler, network = make_network()
+        network.register("bob", lambda m: None)
+        network.send(NetworkMessage(source="alice", destination="bob", payload=b"x"))
+        scheduler.run_all()
+        assert len(network.deliveries) == 1
+        time, message = network.deliveries[0]
+        assert message.destination == "bob"
+
+    def test_unregister_drops_in_flight(self):
+        scheduler, network = make_network()
+        received = []
+        network.register("bob", received.append)
+        network.send(NetworkMessage(source="alice", destination="bob", payload=b"x"))
+        network.unregister("bob")
+        scheduler.run_all()
+        assert received == []
+
+
+class TestReliableChannel:
+    def test_retransmits_until_acknowledged(self):
+        scheduler, network = make_network()
+        received = []
+        network.register("bob", received.append)
+        channel = ReliableChannel(network, "alice", retransmit_interval=0.1,
+                                  max_retransmits=3)
+        network.register("alice", lambda m: None)
+        message = NetworkMessage(source="alice", destination="bob", payload=b"x")
+        channel.send(message)
+        scheduler.run_until(0.25)
+        assert len(received) >= 2  # original + at least one retransmission
+        assert channel.retransmissions >= 1
+        assert channel.acknowledge(message.message_id)
+        count = len(received)
+        scheduler.run_until(5.0)
+        assert len(received) == count  # no more retransmissions after the ack
+
+    def test_gives_up_after_max_retransmits(self):
+        scheduler, network = make_network()
+        gave_up = []
+        network.register("bob", lambda m: None)
+        channel = ReliableChannel(network, "alice", retransmit_interval=0.1,
+                                  max_retransmits=2, on_give_up=gave_up.append)
+        message = NetworkMessage(source="alice", destination="bob", payload=b"x")
+        channel.send(message)
+        scheduler.run_until(5.0)
+        assert [m.message_id for m in gave_up] == [message.message_id]
+        assert channel.gave_up_on == [message.message_id]
+        assert channel.unacknowledged == []
+
+    def test_ack_of_unknown_message(self):
+        _, network = make_network()
+        channel = ReliableChannel(network, "alice")
+        assert channel.acknowledge("nope") is False
+
+    def test_rejects_foreign_source(self):
+        _, network = make_network()
+        channel = ReliableChannel(network, "alice")
+        with pytest.raises(ChannelError):
+            channel.send(NetworkMessage(source="bob", destination="alice", payload=b""))
+
+    def test_no_ack_expected_messages_not_tracked(self):
+        scheduler, network = make_network()
+        network.register("bob", lambda m: None)
+        channel = ReliableChannel(network, "alice")
+        channel.send(NetworkMessage(source="alice", destination="bob", payload=b"x"),
+                     expect_ack=False)
+        assert channel.unacknowledged == []
