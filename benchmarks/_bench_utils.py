@@ -1,6 +1,48 @@
-"""Helpers shared by the benchmark modules."""
+"""Helpers shared by the benchmark modules.
+
+Benchmarks run at one of three scales:
+
+* the per-benchmark default, sized so the whole suite finishes in minutes;
+* an explicit ``--repro-duration`` override (seconds of simulated time),
+  which always wins;
+* *smoke mode* — ``--smoke`` or ``REPRO_BENCH_SMOKE=1`` — tiny workloads and
+  a single repetition, used by the CI bench job so it finishes in a couple
+  of minutes.  Every benchmark passes its own ``smoke=`` duration, chosen so
+  its shape assertions still hold at the reduced scale.
+"""
+
+import os
+
+_SMOKE_FLAG = [False]  # set by conftest when --smoke is passed
 
 
-def duration_or(default, override):
-    """Pick the experiment duration, honouring the --repro-duration override."""
-    return override if override is not None else default
+def set_smoke(enabled: bool) -> None:
+    """Record that smoke mode was requested on the command line."""
+    _SMOKE_FLAG[0] = bool(enabled)
+
+
+def smoke_mode() -> bool:
+    """True when the suite should run tiny CI-sized workloads."""
+    if _SMOKE_FLAG[0]:
+        return True
+    return os.environ.get("REPRO_BENCH_SMOKE", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def duration_or(default, override, smoke=None):
+    """Pick the experiment duration.
+
+    An explicit ``--repro-duration`` override wins; otherwise smoke mode
+    picks the benchmark's reduced ``smoke`` duration when one is given, and
+    the per-benchmark default applies in a normal run.
+    """
+    if override is not None:
+        return override
+    if smoke is not None and smoke_mode():
+        return smoke
+    return default
+
+
+def scaled(default, smoke):
+    """Pick a non-duration parameter (counts, sizes) by mode."""
+    return smoke if smoke_mode() else default

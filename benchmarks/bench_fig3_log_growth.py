@@ -6,7 +6,7 @@ from repro.experiments import fig3_log_growth
 
 
 def test_fig3_log_growth(benchmark, repro_duration):
-    duration = duration_or(60.0, repro_duration)
+    duration = duration_or(60.0, repro_duration, smoke=15.0)
     result = benchmark.pedantic(fig3_log_growth.run_log_growth,
                                 kwargs={"duration": duration, "num_players": 3,
                                         "sample_interval": duration / 6.0},

@@ -6,7 +6,7 @@ from repro.experiments import fig4_log_content
 
 
 def test_fig4_log_content(benchmark, repro_duration):
-    duration = duration_or(60.0, repro_duration)
+    duration = duration_or(60.0, repro_duration, smoke=15.0)
     result = benchmark.pedantic(fig4_log_content.run_log_content,
                                 kwargs={"duration": duration, "num_players": 3},
                                 rounds=1, iterations=1)

@@ -1,11 +1,13 @@
 """Figure 5 — ping round-trip times under the five configurations."""
 
+from _bench_utils import scaled
+
 from repro.avmm.config import Configuration
 from repro.experiments import fig5_latency
 
 
 def test_fig5_ping_rtt(benchmark):
-    result = benchmark.pedantic(fig5_latency.run_latency, kwargs={"pings": 100},
+    result = benchmark.pedantic(fig5_latency.run_latency, kwargs={"pings": scaled(100, 40)},
                                 rounds=1, iterations=1)
     print()
     print("configuration  median (ms)  5th pct (ms)  95th pct (ms)")

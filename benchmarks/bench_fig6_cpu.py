@@ -7,7 +7,7 @@ from repro.experiments import fig6_cpu
 
 
 def test_fig6_cpu_utilisation(benchmark, repro_duration):
-    duration = duration_or(20.0, repro_duration)
+    duration = duration_or(20.0, repro_duration, smoke=8.0)
     result = benchmark.pedantic(fig6_cpu.run_cpu,
                                 kwargs={"duration": duration, "num_players": 3},
                                 rounds=1, iterations=1)

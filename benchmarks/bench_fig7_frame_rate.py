@@ -7,7 +7,7 @@ from repro.experiments import fig7_frame_rate
 
 
 def test_fig7_frame_rate(benchmark, repro_duration):
-    duration = duration_or(20.0, repro_duration)
+    duration = duration_or(20.0, repro_duration, smoke=8.0)
     result = benchmark.pedantic(fig7_frame_rate.run_frame_rate,
                                 kwargs={"duration": duration, "num_players": 3},
                                 rounds=1, iterations=1)

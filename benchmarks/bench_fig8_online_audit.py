@@ -6,7 +6,7 @@ from repro.experiments import fig8_online_audit
 
 
 def test_fig8_online_auditing(benchmark, repro_duration):
-    duration = duration_or(30.0, repro_duration)
+    duration = duration_or(30.0, repro_duration, smoke=12.0)
     result = benchmark.pedantic(fig8_online_audit.run_online_audit,
                                 kwargs={"duration": duration, "num_players": 3,
                                         "audit_interval": duration / 4.0},

@@ -6,7 +6,7 @@ from repro.experiments import fig9_spot_check
 
 
 def test_fig9_spot_checking(benchmark, repro_duration):
-    duration = duration_or(180.0, repro_duration)
+    duration = duration_or(180.0, repro_duration, smoke=60.0)
     result = benchmark.pedantic(
         fig9_spot_check.run_spot_check,
         kwargs={"duration": duration, "snapshot_interval": duration / 10.0,

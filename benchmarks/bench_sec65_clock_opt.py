@@ -6,7 +6,7 @@ from repro.experiments import sec65_frame_cap
 
 
 def test_sec65_clock_read_optimisation(benchmark, repro_duration):
-    duration = duration_or(4.0, repro_duration)
+    duration = duration_or(4.0, repro_duration, smoke=2.0)
     result = benchmark.pedantic(sec65_frame_cap.run_frame_cap,
                                 kwargs={"duration": duration},
                                 rounds=1, iterations=1)

@@ -6,7 +6,7 @@ from repro.experiments import sec66_audit_cost
 
 
 def test_sec66_audit_cost(benchmark, repro_duration):
-    duration = duration_or(30.0, repro_duration)
+    duration = duration_or(30.0, repro_duration, smoke=10.0)
     result = benchmark.pedantic(sec66_audit_cost.run_audit_cost,
                                 kwargs={"duration": duration, "num_players": 3},
                                 rounds=1, iterations=1)

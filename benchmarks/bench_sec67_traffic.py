@@ -7,7 +7,7 @@ from repro.experiments import sec67_traffic
 
 
 def test_sec67_network_traffic(benchmark, repro_duration):
-    duration = duration_or(20.0, repro_duration)
+    duration = duration_or(20.0, repro_duration, smoke=8.0)
     result = benchmark.pedantic(
         sec67_traffic.run_traffic,
         kwargs={"duration": duration, "num_players": 3,

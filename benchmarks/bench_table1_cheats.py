@@ -19,7 +19,7 @@ def test_table1_catalog(benchmark):
 
 def test_table1_functional_check(benchmark, repro_duration):
     """Section 6.3: a cheated game is audited and the cheater is caught."""
-    duration = duration_or(8.0, repro_duration)
+    duration = duration_or(8.0, repro_duration, smoke=4.0)
 
     def run():
         return [table1.run_functional_check(cheat, duration=duration, num_players=2)

@@ -7,18 +7,43 @@ as the paper's artefacts; EXPERIMENTS.md records the paper-vs-measured
 comparison from a representative run.
 
 Scale can be increased with ``--repro-duration`` (seconds of simulated game
-time per experiment).
+time per experiment), or decreased with ``--smoke`` (equivalently
+``REPRO_BENCH_SMOKE=1``), the CI fast mode: tiny workloads, one repetition,
+same shape assertions.
 """
 
+import os
+import sys
+
+if "repro" not in sys.modules:
+    try:  # the installed package (pip install -e .) wins
+        import repro  # noqa: F401
+    except ImportError:  # clean checkout: fall back to the src/ layout
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
 import pytest
+
+import _bench_utils
 
 
 def pytest_addoption(parser):
     parser.addoption("--repro-duration", type=float, default=None,
                      help="simulated seconds per experiment (default: per-benchmark)")
+    parser.addoption("--smoke", action="store_true", default=False,
+                     help="run tiny CI-sized workloads (also: REPRO_BENCH_SMOKE=1)")
+
+
+def pytest_configure(config):
+    _bench_utils.set_smoke(config.getoption("--smoke"))
 
 
 @pytest.fixture(scope="session")
 def repro_duration(request):
     """Optional duration override for every experiment."""
     return request.config.getoption("--repro-duration")
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    """True when the suite runs in CI smoke mode."""
+    return _bench_utils.smoke_mode()

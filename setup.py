@@ -1,0 +1,11 @@
+"""Legacy build shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+environments whose setuptools cannot build PEP 660 editable wheels (for
+example offline containers without the ``wheel`` package) can still do
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -15,6 +15,12 @@ that any third party can verify without trusting the auditor or the auditee.
 """
 
 from repro.audit.auditor import Auditor
+from repro.audit.engine import (
+    AuditAssignment,
+    AuditScheduler,
+    FleetAuditReport,
+    MachineAuditReport,
+)
 from repro.audit.evidence import Evidence
 from repro.audit.online import OnlineAuditor
 from repro.audit.semantic import SemanticChecker
@@ -23,7 +29,11 @@ from repro.audit.syntactic import SyntacticChecker, SyntacticReport
 from repro.audit.verdict import AuditCost, AuditPhase, AuditResult, Verdict
 
 __all__ = [
+    "AuditAssignment",
+    "AuditScheduler",
     "Auditor",
+    "FleetAuditReport",
+    "MachineAuditReport",
     "Evidence",
     "OnlineAuditor",
     "SemanticChecker",

@@ -5,12 +5,18 @@ authenticators, download the log (compressed), verify it against the
 authenticators, run the syntactic check, then the semantic check.  Any failure
 produces :class:`~repro.audit.evidence.Evidence`; an unresponsive machine is
 *suspected* and the most recent authenticator becomes the evidence.
+
+With ``workers > 1`` the auditor delegates whole-machine audits to the
+parallel engine (:class:`repro.audit.engine.AuditScheduler`), which chunks
+the log at snapshot boundaries and batches signature checks; ``workers=1``
+(the default) preserves the plain serial path below.  Verdicts and evidence
+are identical either way — the engine re-runs the serial path to produce
+canonical evidence whenever a chunk fails.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
 
 from repro.audit.evidence import Evidence
 from repro.audit.semantic import SemanticChecker
@@ -25,18 +31,38 @@ from repro.log.segments import LogSegment
 from repro.metrics.perfmodel import CostParameters
 from repro.vm.image import VMImage
 
+if TYPE_CHECKING:  # pragma: no cover - avoid the auditor<->engine import cycle
+    from repro.audit.engine import AuditScheduler
+
 
 class Auditor:
-    """An auditing party (Alice, or any player auditing another)."""
+    """An auditing party (Alice, or any player auditing another).
+
+    ``workers`` selects how many audit workers full-machine audits may use;
+    alternatively an explicit :class:`~repro.audit.engine.AuditScheduler`
+    can be supplied via ``engine`` (it wins over ``workers``).
+    """
 
     def __init__(self, identity: str, keystore: KeyStore, reference_image: VMImage,
-                 cost_params: Optional[CostParameters] = None) -> None:
+                 cost_params: Optional[CostParameters] = None,
+                 workers: int = 1,
+                 engine: Optional["AuditScheduler"] = None) -> None:
         self.identity = identity
         self.keystore = keystore
         self.reference_image = reference_image
         self.cost_params = cost_params or CostParameters()
+        self.workers = workers
+        self._engine = engine
         self.collected_authenticators: Dict[str, List[Authenticator]] = {}
         self._compressor = VmmLogCompressor()
+
+    @property
+    def engine(self) -> Optional["AuditScheduler"]:
+        """The audit engine backing this auditor (``None`` on the serial path)."""
+        if self._engine is None and self.workers > 1:
+            from repro.audit.engine import AuditScheduler
+            self._engine = AuditScheduler(workers=self.workers)
+        return self._engine
 
     # -- authenticator collection -------------------------------------------------
 
@@ -68,8 +94,15 @@ class Auditor:
     def audit(self, target: AccountableVMM,
               segment: Optional[LogSegment] = None,
               initial_state: Optional[Dict[str, Any]] = None) -> AuditResult:
-        """Run a full audit of ``target`` (or of a specific segment of its log)."""
+        """Run a full audit of ``target`` (or of a specific segment of its log).
+
+        Whole-machine audits run on the parallel engine when one is
+        configured; audits of an explicit segment always take the serial
+        path (the engine needs the machine's snapshots to chunk).
+        """
         machine = target.identity
+        if segment is None and initial_state is None and self.engine is not None:
+            return self.engine.audit_machine(self, target)
         if segment is None:
             segment = target.get_log_segment()
         return self.audit_segment(machine, segment, initial_state=initial_state)

@@ -1,0 +1,599 @@
+"""The parallel, batched audit engine.
+
+Section 6.6 puts the price tag on accountability: auditing a machine means
+downloading its log, verifying it against the authenticators, and replaying
+it — and the semantic check alone takes about as long as the recorded play
+time.  The same section's remedy is that audits parallelise perfectly: other
+machines' logs are independent, and with periodic snapshots the chunks of a
+single log are independently verifiable and replayable too (Section 6.12).
+
+:class:`AuditScheduler` exploits both axes.  It fans a fleet of audits out
+over a ``concurrent.futures`` worker pool:
+
+1. each target's log is split at snapshot boundaries into at most
+   ``chunks_per_machine`` chunks (:func:`repro.log.segments.partition_segments`);
+2. every chunk becomes a self-contained, picklable :class:`ChunkJob` holding
+   the chunk segment, the matching authenticators, a
+   :class:`~repro.crypto.keys.StaticKeyView` of the public keys, the
+   reference image, and — for chunks that do not start the log — the
+   verified snapshot state at the chunk boundary;
+3. workers run :func:`run_chunk`: incremental hash-chain verification from
+   the chunk's :class:`~repro.log.hashchain.ChainCheckpoint`, batched
+   authenticator signature verification
+   (:func:`~repro.log.authenticator.batch_verify_authenticators`), the
+   per-entry syntactic checks, and deterministic replay of the chunk;
+4. the scheduler merges the per-chunk outcomes into one machine-level
+   :class:`~repro.audit.verdict.AuditResult` — the stream cross-checks that
+   cannot be chunked (they pair entries across the whole log, but need no
+   cryptography) run once centrally, and chunk boundaries are stitched by
+   comparing checkpoints.
+
+When anything fails, the engine re-runs the plain serial audit of that
+machine (:meth:`Auditor.audit_segment`) to produce the *canonical* evidence —
+exactly what a ``workers=1`` audit would have produced — so verdicts and
+evidence are bit-identical across worker counts; only the honest fast path is
+parallel.  That mirrors standard batch-verification designs: an optimistic
+batched screen, with a fallback that isolates the culprit.
+
+Costs are threaded through :class:`~repro.audit.verdict.AuditCost` so the
+Figure 8/9 experiments keep reporting paper-faithful numbers, and the fleet
+report carries the *modelled* serial-vs-parallel wall-clock
+(:mod:`repro.metrics.parallel`) alongside the measured one, because the
+modelled number — like every other number this reproduction reports — must
+not depend on the hardware the simulation runs on.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.auditor import Auditor
+from repro.audit.semantic import SemanticChecker
+from repro.audit.syntactic import SyntacticChecker
+from repro.audit.verdict import AuditCost, AuditPhase, AuditResult, Verdict
+from repro.avmm.monitor import AccountableVMM
+from repro.avmm.replayer import ReplayReport
+from repro.crypto.keys import StaticKeyView
+from repro.crypto.signatures import get_scheme
+from repro.errors import HashChainError, MissingSnapshotError, SegmentError
+from repro.log.authenticator import Authenticator, batch_verify_authenticators
+from repro.log.compression import VmmLogCompressor
+from repro.log.entries import EntryType
+from repro.log.hashchain import ChainCheckpoint, verify_chain_incremental
+from repro.log.segments import LogSegment, concatenate_segments, partition_segments
+from repro.metrics.parallel import ParallelSchedule, schedule
+from repro.metrics.perfmodel import CostParameters
+from repro.vm.image import VMImage
+
+__all__ = [
+    "AuditAssignment",
+    "AuditScheduler",
+    "ChunkJob",
+    "ChunkOutcome",
+    "FleetAuditReport",
+    "fetch_verified_snapshot",
+    "MachineAuditReport",
+    "run_chunk",
+    "scheme_verify_seconds",
+]
+
+
+# ---------------------------------------------------------------------------
+# Work items
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ChunkJob:
+    """Everything a worker needs to audit one chunk, with no live objects.
+
+    Every field pickles, so a job can cross a process boundary.  The chunk's
+    position in the log is carried by ``checkpoint`` (the chain state just
+    before its first entry); ``initial_state`` is the verified snapshot at
+    the chunk boundary, or ``None`` for the chunk that starts the log.
+    """
+
+    machine: str
+    auditor: str
+    chunk_index: int
+    segment: LogSegment
+    checkpoint: ChainCheckpoint
+    authenticators: List[Authenticator]
+    key_view: StaticKeyView
+    reference_image: VMImage
+    initial_state: Optional[Dict[str, Any]] = None
+    snapshot_bytes: int = 0
+    cost_params: CostParameters = field(default_factory=CostParameters)
+    #: modelled cost of one signature verification under the target's scheme
+    verify_seconds: float = 0.0
+    #: run the stream cross-checks inside the worker too.  Off for the
+    #: chunks of one machine-level audit (the parent runs them globally),
+    #: on for spot-check chunks, which are audited in isolation.
+    check_cross_references: bool = False
+
+
+@dataclass
+class ChunkOutcome:
+    """What a worker reports back for one chunk."""
+
+    machine: str
+    chunk_index: int
+    verdict: Verdict
+    phase: AuditPhase
+    reason: str = ""
+    end_checkpoint: Optional[ChainCheckpoint] = None
+    authenticators_checked: int = 0
+    syntactic_problems: List[str] = field(default_factory=list)
+    replay_report: Optional[ReplayReport] = None
+    cost: AuditCost = field(default_factory=AuditCost)
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is Verdict.PASS
+
+
+def run_chunk(job: ChunkJob) -> ChunkOutcome:
+    """Audit one chunk.  Runs inside a worker process (or inline).
+
+    Performs the per-chunk share of the three audit steps of Section 4.5:
+    tamper check (incremental hash chain + batched authenticator check),
+    per-entry syntactic checks (stream cross-checks are the parent's job),
+    and the semantic check (deterministic replay from the chunk's verified
+    snapshot).  Stops at the first failing phase, like the serial auditor.
+    """
+    segment = job.segment
+    cost = _chunk_download_cost(segment, job.snapshot_bytes, job.cost_params)
+    outcome = ChunkOutcome(machine=job.machine, chunk_index=job.chunk_index,
+                           verdict=Verdict.PASS, phase=AuditPhase.COMPLETE,
+                           cost=cost)
+
+    # Step 1a: the chunk must extend its checkpoint by an unbroken chain.
+    try:
+        outcome.end_checkpoint = verify_chain_incremental(segment.entries,
+                                                          job.checkpoint)
+    except HashChainError as exc:
+        outcome.verdict = Verdict.FAIL
+        outcome.phase = AuditPhase.AUTHENTICATOR_CHECK
+        outcome.reason = str(exc)
+        return outcome
+
+    # Step 1b: batched authenticator verification.  All signatures in the
+    # batch come from the target machine, so one screening operation usually
+    # settles the whole chunk.
+    relevant = [auth for auth in job.authenticators
+                if auth.machine == job.machine
+                and segment.entries
+                and segment.first_sequence <= auth.sequence <= segment.last_sequence]
+    valid, invalid, stats = batch_verify_authenticators(relevant, job.key_view)
+    cost.signatures_verified += stats.total
+    cost.signature_screen_operations += stats.screen_operations
+    cost.signature_seconds += job.verify_seconds * (
+        stats.screen_operations + stats.single_verifications)
+    if invalid:
+        first_bad = relevant[invalid[0]]
+        outcome.verdict = Verdict.FAIL
+        outcome.phase = AuditPhase.AUTHENTICATOR_CHECK
+        outcome.reason = (f"authenticator for sequence {first_bad.sequence} "
+                          f"has an invalid signature")
+        return outcome
+    by_sequence = {entry.sequence: entry for entry in segment.entries}
+    for auth in valid:
+        entry = by_sequence.get(auth.sequence)
+        if entry is None:
+            continue
+        if entry.chain_hash != auth.chain_hash:
+            outcome.verdict = Verdict.FAIL
+            outcome.phase = AuditPhase.AUTHENTICATOR_CHECK
+            outcome.reason = (f"log entry {auth.sequence} does not match the "
+                              f"authenticator issued by {job.machine!r} "
+                              f"(log was tampered with or forked)")
+            return outcome
+        outcome.authenticators_checked += 1
+
+    # Step 2: per-entry syntactic checks (format + sender signatures).  The
+    # cross-references span chunk boundaries and are checked by the parent.
+    syntactic = SyntacticChecker(
+        job.key_view,
+        check_cross_references=job.check_cross_references).check(segment)
+    if not syntactic.ok:
+        outcome.verdict = Verdict.FAIL
+        outcome.phase = AuditPhase.SYNTACTIC_CHECK
+        outcome.reason = "; ".join(syntactic.problems[:3])
+        outcome.syntactic_problems = syntactic.problems
+        return outcome
+
+    # Step 3: semantic check — replay the chunk from its verified snapshot.
+    checker = SemanticChecker(job.reference_image, job.cost_params)
+    report = checker.check(segment, initial_state=job.initial_state)
+    outcome.replay_report = report
+    cost.semantic_seconds = checker.estimate_timing(report).replay_seconds
+    if report.diverged:
+        outcome.verdict = Verdict.FAIL
+        outcome.phase = AuditPhase.SEMANTIC_CHECK
+        outcome.reason = report.divergence.describe()
+    return outcome
+
+
+def _chunk_download_cost(segment: LogSegment, snapshot_bytes: int,
+                         params: CostParameters) -> AuditCost:
+    """Transfer/processing cost of obtaining one chunk (cf. Auditor._download_cost)."""
+    raw_bytes = segment.size_bytes()
+    compressed = (len(VmmLogCompressor().compress(segment))
+                  if segment.entries else 0)
+    return AuditCost(
+        log_bytes_downloaded=raw_bytes,
+        compressed_log_bytes=compressed,
+        snapshot_bytes_downloaded=snapshot_bytes,
+        compression_seconds=raw_bytes / params.compress_bytes_per_second,
+        decompression_seconds=raw_bytes / params.decompress_bytes_per_second,
+        syntactic_seconds=raw_bytes / params.syntactic_check_bytes_per_second,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MachineAuditReport:
+    """One machine's merged audit, with the engine's bookkeeping."""
+
+    machine: str
+    result: AuditResult
+    chunk_count: int = 0
+    chunk_outcomes: List[ChunkOutcome] = field(default_factory=list)
+    #: the serial auditor was re-run to produce canonical evidence
+    confirmed_serially: bool = False
+
+
+@dataclass
+class FleetAuditReport:
+    """Outcome of auditing a fleet of machines on the engine."""
+
+    results: Dict[str, AuditResult] = field(default_factory=dict)
+    machine_reports: Dict[str, MachineAuditReport] = field(default_factory=dict)
+    workers: int = 1
+    executor_used: str = "inline"
+    chunk_count: int = 0
+    #: measured wall-clock of this engine run (hardware-dependent)
+    wall_seconds: float = 0.0
+    #: modelled cost schedule (hardware-independent, from AuditCost totals)
+    modelled: Optional[ParallelSchedule] = None
+    total_cost: AuditCost = field(default_factory=AuditCost)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(result.verdict is Verdict.PASS for result in self.results.values())
+
+    @property
+    def modelled_speedup(self) -> float:
+        return self.modelled.speedup if self.modelled is not None else 1.0
+
+    def summary(self) -> str:
+        verdicts = ", ".join(f"{machine}={result.verdict.value}"
+                             for machine, result in sorted(self.results.items()))
+        return (f"fleet audit: {len(self.results)} machines, "
+                f"{self.chunk_count} chunks on {self.workers} workers "
+                f"({self.executor_used}); {verdicts}")
+
+
+@dataclass
+class AuditAssignment:
+    """One unit of fleet work: this auditor audits this machine."""
+
+    auditor: Auditor
+    target: AccountableVMM
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+class AuditScheduler:
+    """Schedules chunked audits of many machines over a worker pool.
+
+    ``workers=1`` (the default) keeps everything inline and single-chunk, so
+    it reproduces the serial :class:`Auditor` byte for byte; higher worker
+    counts split each log at snapshot boundaries and execute chunks
+    concurrently.  ``executor`` may be ``"auto"`` (process pool when the jobs
+    pickle, else threads), ``"process"``, ``"thread"`` or ``"inline"``.
+    """
+
+    def __init__(self, workers: int = 1, executor: str = "auto",
+                 chunks_per_machine: Optional[int] = None,
+                 confirm_failures_serially: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        if executor not in ("auto", "process", "thread", "inline"):
+            raise ValueError(f"unknown executor kind {executor!r}")
+        self.workers = workers
+        self.executor = executor
+        #: chunks per machine; None = one chunk per worker, 1 when serial
+        self.chunks_per_machine = chunks_per_machine
+        self.confirm_failures_serially = confirm_failures_serially
+
+    # -- public API ---------------------------------------------------------
+
+    def audit_machine(self, auditor: Auditor, target: AccountableVMM) -> AuditResult:
+        """Audit one machine on the engine; returns the merged result."""
+        report = self.audit_fleet([AuditAssignment(auditor, target)])
+        return report.results[target.identity]
+
+    def audit_fleet(self, assignments: Sequence[AuditAssignment]) -> FleetAuditReport:
+        """Audit every assignment, fanning chunks out over the worker pool.
+
+        Each target may appear at most once — the report is keyed by machine
+        identity, so several auditors auditing the same machine must run as
+        separate fleet calls.
+        """
+        targets = [assignment.target.identity for assignment in assignments]
+        duplicates = sorted({name for name in targets if targets.count(name) > 1})
+        if duplicates:
+            raise ValueError(
+                f"fleet contains duplicate audit targets: {duplicates}; "
+                f"run one fleet audit per auditor instead")
+        started = time.perf_counter()
+        plans: List[_MachinePlan] = [self._plan(assignment)
+                                     for assignment in assignments]
+        jobs: List[ChunkJob] = [job for plan in plans for job in plan.jobs]
+        outcome_list = self._execute(jobs)
+
+        report = FleetAuditReport(workers=self.workers,
+                                  executor_used=self._executor_kind(jobs),
+                                  chunk_count=len(jobs))
+        cursor = 0
+        work_items = [outcome.cost.total_seconds for outcome in outcome_list]
+        for plan in plans:
+            machine_outcomes = outcome_list[cursor:cursor + len(plan.jobs)]
+            cursor += len(plan.jobs)
+            machine_report = self._merge(plan, machine_outcomes)
+            report.machine_reports[plan.machine] = machine_report
+            report.results[plan.machine] = machine_report.result
+            if machine_report.confirmed_serially:
+                # A serial (re-)audit ran in the parent for this machine; it
+                # is one unsplittable work item, and leaving it out would make
+                # the modelled speedup look better than the audit really was.
+                work_items.append(machine_report.result.cost.total_seconds)
+        report.wall_seconds = time.perf_counter() - started
+        report.total_cost = AuditCost.total(
+            result.cost for result in report.results.values())
+        report.modelled = schedule(work_items, self.workers)
+        return report
+
+    def run_jobs(self, jobs: Sequence[ChunkJob]) -> List[ChunkOutcome]:
+        """Execute prepared chunk jobs on the pool (used by the spot checker)."""
+        return self._execute(list(jobs))
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan(self, assignment: AuditAssignment) -> "_MachinePlan":
+        auditor = assignment.auditor
+        target = assignment.target
+        machine = target.identity
+        try:
+            return self._plan_chunks(assignment)
+        except (MissingSnapshotError, SegmentError) as exc:
+            # The target could not produce consistent segments or a
+            # verifiable snapshot at a chunk boundary.  The serial audit does
+            # not depend on stored snapshots (it replays from the start), so
+            # fall back to it for this machine rather than failing the fleet.
+            return _MachinePlan(machine=machine, auditor=auditor, target=target,
+                                jobs=[], full_segment=target.get_log_segment(),
+                                serial_fallback_reason=str(exc))
+
+    def _plan_chunks(self, assignment: AuditAssignment) -> "_MachinePlan":
+        auditor = assignment.auditor
+        target = assignment.target
+        machine = target.identity
+        authenticators = [auth for auth in auditor.authenticators_for(machine)
+                          if auth.machine == machine]
+        key_view = auditor.keystore.static_view()
+        verify_seconds = scheme_verify_seconds(auditor.keystore, machine)
+
+        segments = target.get_snapshot_segments()
+        segments = [segment for segment in segments if segment.entries]
+        if not segments:
+            full = target.get_log_segment()
+            segments = [full] if full.entries else []
+        chunk_target = self.chunks_per_machine or max(1, self.workers)
+        chunks = partition_segments(segments, chunk_target) if segments else []
+
+        jobs: List[ChunkJob] = []
+        full_segment = (concatenate_segments(chunks) if chunks
+                        else target.get_log_segment())
+        for index, chunk in enumerate(chunks):
+            initial_state: Optional[Dict[str, Any]] = None
+            snapshot_bytes = 0
+            if index > 0:
+                initial_state, snapshot_bytes = fetch_verified_snapshot(
+                    target, chunks[index - 1])
+            jobs.append(ChunkJob(
+                machine=machine,
+                auditor=auditor.identity,
+                chunk_index=index,
+                segment=chunk,
+                checkpoint=chunk.start_checkpoint(),
+                # ship only the chunk's share of the authenticators: job
+                # pickling cost then scales with chunk size, not log size
+                authenticators=[auth for auth in authenticators
+                                if chunk.first_sequence <= auth.sequence
+                                <= chunk.last_sequence],
+                key_view=key_view,
+                reference_image=auditor.reference_image,
+                initial_state=initial_state,
+                snapshot_bytes=snapshot_bytes,
+                cost_params=auditor.cost_params,
+                verify_seconds=verify_seconds,
+            ))
+        return _MachinePlan(machine=machine, auditor=auditor, target=target,
+                            jobs=jobs, full_segment=full_segment)
+
+    # -- merging ------------------------------------------------------------
+
+    def _merge(self, plan: "_MachinePlan",
+               outcomes: List[ChunkOutcome]) -> MachineAuditReport:
+        auditor = plan.auditor
+        machine = plan.machine
+
+        if plan.serial_fallback_reason is not None:
+            result = auditor.audit_segment(machine, plan.full_segment)
+            return MachineAuditReport(machine=machine, result=result,
+                                      confirmed_serially=True)
+
+        failed = next((outcome for outcome in outcomes if not outcome.ok), None)
+        boundary_reason: Optional[str] = None
+        if failed is None:
+            boundary_reason = self._check_boundaries(plan, outcomes)
+
+        if failed is not None or boundary_reason is not None:
+            # Slow path: re-run the serial audit so evidence is canonical and
+            # identical to what workers=1 would produce.
+            if self.confirm_failures_serially:
+                result = auditor.audit_segment(machine, plan.full_segment)
+            else:
+                result = self._synthesise_failure(plan, failed, boundary_reason)
+            return MachineAuditReport(machine=machine, result=result,
+                                      chunk_count=len(outcomes),
+                                      chunk_outcomes=outcomes,
+                                      confirmed_serially=self.confirm_failures_serially)
+
+        # Fast path: all chunks passed; stitch counters and costs together.
+        cost = AuditCost.total(outcome.cost for outcome in outcomes)
+        replay = _merge_replay_reports(machine,
+                                       [outcome.replay_report for outcome in outcomes])
+        result = AuditResult(
+            machine=machine, auditor=auditor.identity,
+            verdict=Verdict.PASS, phase=AuditPhase.COMPLETE,
+            authenticators_checked=sum(outcome.authenticators_checked
+                                       for outcome in outcomes),
+            replay_report=replay, cost=cost)
+        return MachineAuditReport(machine=machine, result=result,
+                                  chunk_count=len(outcomes),
+                                  chunk_outcomes=outcomes)
+
+    def _check_boundaries(self, plan: "_MachinePlan",
+                          outcomes: List[ChunkOutcome]) -> Optional[str]:
+        """Chunk stitching: checkpoints must tile, cross-references must hold."""
+        for previous, current in zip(outcomes, outcomes[1:]):
+            expected = plan.jobs[current.chunk_index].checkpoint
+            if previous.end_checkpoint != expected:
+                return (f"chunk {current.chunk_index} does not extend chunk "
+                        f"{previous.chunk_index} (checkpoint mismatch)")
+        cross = SyntacticChecker(verify_sender_signatures=False,
+                                 check_entry_format=False).check(plan.full_segment)
+        if not cross.ok:
+            return "; ".join(cross.problems[:3])
+        return None
+
+    def _synthesise_failure(self, plan: "_MachinePlan",
+                            failed: Optional[ChunkOutcome],
+                            boundary_reason: Optional[str]) -> AuditResult:
+        """Failure result without the serial confirmation pass (opt-in)."""
+        from repro.audit.evidence import Evidence
+        auditor = plan.auditor
+        phase = failed.phase if failed is not None else AuditPhase.SYNTACTIC_CHECK
+        reason = failed.reason if failed is not None else (boundary_reason or "")
+        evidence = Evidence(machine=plan.machine, accuser=auditor.identity,
+                            reason=reason, segment=plan.full_segment,
+                            authenticators=auditor.authenticators_for(plan.machine),
+                            reference_image_hash=auditor.reference_image.image_hash())
+        return AuditResult(machine=plan.machine, auditor=auditor.identity,
+                           verdict=Verdict.FAIL, phase=phase, reason=reason,
+                           evidence=evidence)
+
+    # -- execution ----------------------------------------------------------
+
+    def _executor_kind(self, jobs: Sequence[ChunkJob]) -> str:
+        if self.workers <= 1 or len(jobs) <= 1 or self.executor == "inline":
+            return "inline"
+        if self.executor in ("process", "thread"):
+            return self.executor
+        # auto: processes give real parallelism, but only when jobs pickle.
+        try:
+            pickle.dumps(jobs[0])
+        except Exception:
+            return "thread"
+        return "process"
+
+    def _execute(self, jobs: List[ChunkJob]) -> List[ChunkOutcome]:
+        kind = self._executor_kind(jobs)
+        if kind == "inline":
+            return [run_chunk(job) for job in jobs]
+        pool_size = min(self.workers, len(jobs))
+        pool_cls = ProcessPoolExecutor if kind == "process" else ThreadPoolExecutor
+        with pool_cls(max_workers=pool_size) as pool:
+            return list(pool.map(run_chunk, jobs))
+
+
+@dataclass
+class _MachinePlan:
+    """Prepared work for one machine (parent-side only; never pickled)."""
+
+    machine: str
+    auditor: Auditor
+    target: AccountableVMM
+    jobs: List[ChunkJob]
+    full_segment: LogSegment
+    #: set when chunk planning failed (e.g. unverifiable snapshot) and the
+    #: whole machine must be audited serially instead
+    serial_fallback_reason: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared with the spot checker
+# ---------------------------------------------------------------------------
+
+def fetch_verified_snapshot(target: AccountableVMM,
+                             preceding_segment: LogSegment) -> Tuple[Dict[str, Any], int]:
+    """Download and authenticate the snapshot at a chunk boundary.
+
+    The preceding chunk ends with the SNAPSHOT entry whose hash-tree root
+    must match the downloaded snapshot (Section 4.5, "Verifying the
+    snapshot").  Returns ``(state, transfer_bytes)``.
+    """
+    snapshot_entries = preceding_segment.entries_of_type(EntryType.SNAPSHOT)
+    if not snapshot_entries:
+        raise MissingSnapshotError(
+            "the segment preceding the chunk does not end with a snapshot")
+    snapshot_entry = snapshot_entries[-1]
+    snapshot_id = int(snapshot_entry.content["snapshot_id"])
+    expected_root = str(snapshot_entry.content["state_root"])
+
+    snapshot = target.snapshots.get(snapshot_id)
+    if snapshot.state_root.hex() != expected_root:
+        raise MissingSnapshotError(
+            f"snapshot {snapshot_id} does not match the root recorded in the log")
+    if not snapshot.verify_root():
+        raise MissingSnapshotError(
+            f"snapshot {snapshot_id} failed hash-tree verification")
+    transfer_bytes = target.snapshots.transfer_cost_bytes(snapshot_id)
+    return snapshot.state, transfer_bytes
+
+
+def scheme_verify_seconds(keystore, machine: str) -> float:
+    """Modelled cost of one signature verification under the target's scheme."""
+    try:
+        scheme_name = keystore.verify_key_for(machine).scheme_name
+        return get_scheme(scheme_name).costs().verify_seconds
+    except Exception:
+        return 0.0
+
+
+def _merge_replay_reports(machine: str,
+                          reports: Sequence[Optional[ReplayReport]]) -> ReplayReport:
+    """Stitch per-chunk replay reports into one machine-level report."""
+    merged = ReplayReport(machine=machine)
+    for report in reports:
+        if report is None:
+            continue
+        merged.entries_replayed += report.entries_replayed
+        merged.events_injected += report.events_injected
+        merged.clock_reads_served += report.clock_reads_served
+        merged.outputs_checked += report.outputs_checked
+        merged.snapshots_checked += report.snapshots_checked
+        merged.instructions_executed += report.instructions_executed
+        merged.active_seconds += report.active_seconds
+    return merged

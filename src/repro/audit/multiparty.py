@@ -16,7 +16,7 @@ Three additions are needed beyond the two-party case:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.audit.evidence import Evidence

@@ -6,19 +6,26 @@ of the chunk, verifies it against the hash-tree root recorded in the log, and
 replays just the chunk.  The cost is roughly proportional to the chunk size
 plus a fixed per-chunk cost for transferring the memory and disk snapshots and
 for decompression (Figure 9).
+
+Because every k-chunk is an independent work item, spot checks are a natural
+fit for the parallel engine: construct the checker with an
+:class:`~repro.audit.engine.AuditScheduler` and :meth:`check_all_chunks`
+fans the chunks out over its worker pool.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.audit.auditor import Auditor
 from repro.audit.verdict import AuditResult
 from repro.avmm.monitor import AccountableVMM
-from repro.errors import MissingSnapshotError, SegmentError
-from repro.log.entries import EntryType
+from repro.errors import SegmentError
 from repro.log.segments import LogSegment, concatenate_segments
+
+if TYPE_CHECKING:  # pragma: no cover - engine imports the auditor, not us
+    from repro.audit.engine import AuditScheduler
 
 
 @dataclass
@@ -48,10 +55,20 @@ class SpotCheckResult:
 
 
 class SpotChecker:
-    """Audits k-chunks of a machine's log."""
+    """Audits k-chunks of a machine's log.
 
-    def __init__(self, auditor: Auditor) -> None:
+    ``engine`` (or the auditor's own engine, when it has one) parallelises
+    :meth:`check_all_chunks`; single-chunk checks always run serially.
+    """
+
+    def __init__(self, auditor: Auditor,
+                 engine: Optional["AuditScheduler"] = None) -> None:
         self.auditor = auditor
+        self._engine = engine
+
+    @property
+    def engine(self) -> Optional["AuditScheduler"]:
+        return self._engine if self._engine is not None else self.auditor.engine
 
     # -- public API ------------------------------------------------------------------
 
@@ -95,13 +112,86 @@ class SpotChecker:
 
         ``skip_initial`` excludes chunks that start at the very beginning of
         the log, as the paper does: they are atypical because no snapshot has
-        to be transferred and there is little activity yet.
+        to be transferred and there is little activity yet.  With an engine
+        attached, the chunks run concurrently on its worker pool; the results
+        are returned in chunk order either way.
         """
         segments = target.get_snapshot_segments()
-        results: List[SpotCheckResult] = []
         start = 1 if skip_initial else 0
-        for index in range(start, len(segments) - k + 1):
-            results.append(self.check_chunk(target, index, k, segments=segments))
+        indices = list(range(start, len(segments) - k + 1))
+        engine = self.engine
+        if engine is None or engine.workers <= 1 or len(indices) <= 1:
+            return [self.check_chunk(target, index, k, segments=segments)
+                    for index in indices]
+        return self._check_chunks_on_engine(target, k, indices, segments)
+
+    def _check_chunks_on_engine(self, target: AccountableVMM, k: int,
+                                indices: List[int],
+                                segments: List[LogSegment]) -> List[SpotCheckResult]:
+        """Fan independent k-chunks out over the engine's worker pool.
+
+        A chunk that fails on the fast path is re-audited serially so its
+        result (evidence included) is exactly what :meth:`check_chunk` would
+        have produced.
+        """
+        from repro.audit.engine import (
+            ChunkJob,
+            fetch_verified_snapshot,
+            scheme_verify_seconds,
+        )
+        from repro.audit.verdict import AuditPhase, Verdict
+
+        auditor = self.auditor
+        machine = target.identity
+        key_view = auditor.keystore.static_view()
+        verify_seconds = scheme_verify_seconds(auditor.keystore, machine)
+        authenticators = [auth for auth in auditor.authenticators_for(machine)
+                          if auth.machine == machine]
+
+        jobs: List["ChunkJob"] = []
+        for position, index in enumerate(indices):
+            chunk = concatenate_segments(segments[index:index + k])
+            initial_state: Optional[Dict[str, Any]] = None
+            snapshot_bytes = 0
+            if index > 0:
+                initial_state, snapshot_bytes = fetch_verified_snapshot(
+                    target, segments[index - 1])
+            jobs.append(ChunkJob(
+                machine=machine, auditor=auditor.identity,
+                chunk_index=position, segment=chunk,
+                checkpoint=chunk.start_checkpoint(),
+                # only the chunk's share, so job pickling scales with chunk
+                # size rather than log size (run_chunk re-filters anyway)
+                authenticators=[auth for auth in authenticators
+                                if chunk.first_sequence <= auth.sequence
+                                <= chunk.last_sequence],
+                key_view=key_view,
+                reference_image=auditor.reference_image,
+                initial_state=initial_state, snapshot_bytes=snapshot_bytes,
+                cost_params=auditor.cost_params,
+                verify_seconds=verify_seconds,
+                check_cross_references=True,
+            ))
+
+        outcomes = self.engine.run_jobs(jobs)
+        results: List[SpotCheckResult] = []
+        for index, job, outcome in zip(indices, jobs, outcomes):
+            if outcome.ok:
+                result = AuditResult(
+                    machine=machine, auditor=auditor.identity,
+                    verdict=Verdict.PASS, phase=AuditPhase.COMPLETE,
+                    authenticators_checked=outcome.authenticators_checked,
+                    replay_report=outcome.replay_report, cost=outcome.cost)
+            else:
+                result = auditor.audit_segment(machine, job.segment,
+                                               initial_state=job.initial_state,
+                                               snapshot_bytes=job.snapshot_bytes)
+            results.append(SpotCheckResult(
+                chunk_start_index=index, k=k, result=result,
+                log_bytes=job.segment.size_bytes(),
+                compressed_log_bytes=result.cost.compressed_log_bytes,
+                snapshot_bytes=job.snapshot_bytes,
+                replay_seconds=result.cost.semantic_seconds))
         return results
 
     # -- helpers ---------------------------------------------------------------------
@@ -110,24 +200,9 @@ class SpotChecker:
                                    preceding_segment: LogSegment):
         """Download the snapshot at the chunk boundary and authenticate it.
 
-        The preceding segment ends with the SNAPSHOT entry whose hash-tree
-        root must match the downloaded snapshot (Section 4.5, "Verifying the
-        snapshot").
+        Delegates to the engine's shared helper (Section 4.5, "Verifying the
+        snapshot"): the preceding segment ends with the SNAPSHOT entry whose
+        hash-tree root must match the downloaded snapshot.
         """
-        snapshot_entries = preceding_segment.entries_of_type(EntryType.SNAPSHOT)
-        if not snapshot_entries:
-            raise MissingSnapshotError(
-                "the segment preceding the chunk does not end with a snapshot")
-        snapshot_entry = snapshot_entries[-1]
-        snapshot_id = int(snapshot_entry.content["snapshot_id"])
-        expected_root = str(snapshot_entry.content["state_root"])
-
-        snapshot = target.snapshots.get(snapshot_id)
-        if snapshot.state_root.hex() != expected_root:
-            raise MissingSnapshotError(
-                f"snapshot {snapshot_id} does not match the root recorded in the log")
-        if not snapshot.verify_root():
-            raise MissingSnapshotError(
-                f"snapshot {snapshot_id} failed hash-tree verification")
-        transfer_bytes = target.snapshots.transfer_cost_bytes(snapshot_id)
-        return snapshot.state, transfer_bytes
+        from repro.audit.engine import fetch_verified_snapshot
+        return fetch_verified_snapshot(target, preceding_segment)

@@ -55,10 +55,27 @@ class SyntacticChecker:
 
     def __init__(self, keystore: Optional[KeyStore] = None, *,
                  require_acknowledgments: bool = False,
-                 verify_sender_signatures: bool = True) -> None:
+                 verify_sender_signatures: bool = True,
+                 check_cross_references: bool = True,
+                 check_entry_format: bool = True) -> None:
+        """``keystore`` may be a :class:`KeyStore` or any object with its
+        ``has_identity``/``verify`` interface (e.g. the picklable
+        :class:`~repro.crypto.keys.StaticKeyView` used by audit workers).
+
+        ``check_cross_references`` switches the stream cross-checks
+        (SEND/RECV vs MAC-layer) on or off, and ``check_entry_format`` the
+        per-entry well-formedness checks.  The parallel audit engine splits
+        the work along exactly this line: workers run the per-entry checks
+        chunk by chunk (cross-references would see matching pairs split
+        across chunk boundaries as orphans), while the parent runs only the
+        cross-references once over the whole segment, where they are cheap
+        (no cryptography) and not duplicated.
+        """
         self.keystore = keystore
         self.require_acknowledgments = require_acknowledgments
         self.verify_sender_signatures = verify_sender_signatures
+        self.check_cross_references = check_cross_references
+        self.check_entry_format = check_entry_format
 
     # -- public API ---------------------------------------------------------------
 
@@ -73,7 +90,8 @@ class SyntacticChecker:
 
         for entry in segment.entries:
             report.entries_checked += 1
-            self._check_format(entry, report)
+            if self.check_entry_format:
+                self._check_format(entry, report)
             if entry.entry_type is EntryType.SEND:
                 report.sends += 1
                 sends[str(entry.content.get("message_id"))] = entry
@@ -92,7 +110,8 @@ class SyntacticChecker:
                 else:
                     mac_out[message_id] = entry
 
-        self._cross_reference(segment, sends, recvs, mac_in, mac_out, report)
+        if self.check_cross_references:
+            self._cross_reference(segment, sends, recvs, mac_in, mac_out, report)
         if self.require_acknowledgments:
             for message_id, entry in sends.items():
                 if message_id not in acked_received:

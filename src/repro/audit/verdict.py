@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.audit.evidence import Evidence
 from repro.avmm.replayer import ReplayReport
@@ -38,6 +38,13 @@ class AuditCost:
     decompression_seconds: float = 0.0
     syntactic_seconds: float = 0.0
     semantic_seconds: float = 0.0
+    #: modelled cost of checking authenticator signatures; stays 0.0 on the
+    #: serial path (the paper folds it into the syntactic check) and is filled
+    #: in by the batch-verifying engine, where it is the part batching shrinks
+    signature_seconds: float = 0.0
+    #: authenticator signatures checked / batched screening passes used
+    signatures_verified: int = 0
+    signature_screen_operations: int = 0
 
     @property
     def total_bytes_downloaded(self) -> int:
@@ -46,7 +53,29 @@ class AuditCost:
     @property
     def total_seconds(self) -> float:
         return (self.compression_seconds + self.decompression_seconds
-                + self.syntactic_seconds + self.semantic_seconds)
+                + self.syntactic_seconds + self.semantic_seconds
+                + self.signature_seconds)
+
+    def add(self, other: "AuditCost") -> None:
+        """Accumulate another audit's cost into this one (chunk/fleet merge)."""
+        self.log_bytes_downloaded += other.log_bytes_downloaded
+        self.compressed_log_bytes += other.compressed_log_bytes
+        self.snapshot_bytes_downloaded += other.snapshot_bytes_downloaded
+        self.compression_seconds += other.compression_seconds
+        self.decompression_seconds += other.decompression_seconds
+        self.syntactic_seconds += other.syntactic_seconds
+        self.semantic_seconds += other.semantic_seconds
+        self.signature_seconds += other.signature_seconds
+        self.signatures_verified += other.signatures_verified
+        self.signature_screen_operations += other.signature_screen_operations
+
+    @classmethod
+    def total(cls, costs: Iterable["AuditCost"]) -> "AuditCost":
+        """Sum of many audit costs (the fleet-level aggregate)."""
+        merged = cls()
+        for cost in costs:
+            merged.add(cost)
+        return merged
 
 
 @dataclass

@@ -16,7 +16,7 @@ timing (the first delay is only 50 us).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.avmm.clockopt import ClockReadOptimizer
-from repro.avmm.config import AvmmConfig, Configuration
+from repro.avmm.config import AvmmConfig
 from repro.avmm.recorder import ExecutionRecorder
 from repro.crypto.keys import KeyPair, KeyStore
-from repro.errors import SegmentError, VMError
+from repro.errors import VMError
 from repro.log.authenticator import Authenticator
 from repro.log.entries import EntryType, ack_content, recv_content, send_content
 from repro.log.segments import LogSegment

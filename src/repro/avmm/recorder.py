@@ -14,8 +14,8 @@ and tamper-evident-logging entries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Dict
 
 from repro.log.entries import EntryType, nondet_content, snapshot_content
 from repro.log.tamper_evident import TamperEvidentLog

@@ -10,10 +10,16 @@ per-party view of everyone's certified public keys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Sequence, Tuple
 
 from repro.crypto import hashing
-from repro.crypto.signatures import SignatureScheme, SigningKey, VerifyKey, get_scheme
+from repro.crypto.signatures import (
+    BatchVerifyResult,
+    SignatureScheme,
+    SigningKey,
+    VerifyKey,
+    get_scheme,
+)
 from repro.errors import CertificateError, SignatureError
 
 
@@ -157,6 +163,22 @@ class KeyStore:
             return False
         return key.verify(message, signature)
 
+    def verify_many(self, identity: str,
+                    items: Sequence[Tuple[bytes, bytes]]) -> BatchVerifyResult:
+        """Batch-verify many ``(message, signature)`` pairs from one identity.
+
+        Delegates to the scheme's :meth:`VerifyKey.verify_many`, which for RSA
+        screens the whole batch with a single modular exponentiation and only
+        falls back to bisection when the screen fails.  An unknown identity
+        makes every pair invalid, mirroring :meth:`verify`.
+        """
+        try:
+            key = self.verify_key_for(identity)
+        except CertificateError:
+            return BatchVerifyResult(total=len(items),
+                                     invalid_indices=tuple(range(len(items))))
+        return key.verify_many(items)
+
     def require_valid(self, identity: str, message: bytes, signature: bytes,
                       what: str = "signature") -> None:
         """Verify a signature and raise :class:`SignatureError` if it is bad."""
@@ -166,6 +188,55 @@ class KeyStore:
     def identities(self) -> list[str]:
         """Identities with a registered certificate, sorted."""
         return sorted(self._certificates)
+
+    def static_view(self) -> "StaticKeyView":
+        """A picklable, read-only snapshot of the registered verification keys.
+
+        The parallel audit engine ships one of these to its worker processes:
+        it satisfies the verifier interface the checkers use
+        (:meth:`has_identity` / :meth:`verify` / :meth:`verify_many`) without
+        dragging along the certificate authority's signing key.
+        """
+        return StaticKeyView(keys={identity: certificate.verify_key
+                                   for identity, certificate in self._certificates.items()})
+
+
+@dataclass(frozen=True)
+class StaticKeyView:
+    """An immutable identity -> verification-key mapping.
+
+    Provides the subset of the :class:`KeyStore` interface that signature
+    checking needs.  Because it holds only public material and plain
+    dataclasses, it can be pickled into audit worker processes.
+    """
+
+    keys: Dict[str, VerifyKey] = field(default_factory=dict)
+
+    def has_identity(self, identity: str) -> bool:
+        return identity in self.keys
+
+    def verify_key_for(self, identity: str) -> VerifyKey:
+        key = self.keys.get(identity)
+        if key is None:
+            raise CertificateError(f"no verification key for {identity!r}")
+        return key
+
+    def verify(self, identity: str, message: bytes, signature: bytes) -> bool:
+        key = self.keys.get(identity)
+        if key is None:
+            return False
+        return key.verify(message, signature)
+
+    def verify_many(self, identity: str,
+                    items: Sequence[Tuple[bytes, bytes]]) -> BatchVerifyResult:
+        key = self.keys.get(identity)
+        if key is None:
+            return BatchVerifyResult(total=len(items),
+                                     invalid_indices=tuple(range(len(items))))
+        return key.verify_many(items)
+
+    def identities(self) -> list[str]:
+        return sorted(self.keys)
 
 
 def _derive_seed(base: int, identity: str) -> int:

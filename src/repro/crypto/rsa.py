@@ -37,7 +37,7 @@ class RsaPublicKey:
         if sig_int >= self.modulus:
             return False
         recovered = pow(sig_int, self.exponent, self.modulus)
-        expected = _encode_digest(message, self.modulus)
+        expected = encode_digest(message, self.modulus)
         return recovered == expected
 
     def byte_length(self) -> int:
@@ -60,7 +60,7 @@ class RsaPrivateKey:
 
     def sign(self, message: bytes) -> bytes:
         """Sign ``message`` (hash-then-sign)."""
-        digest_int = _encode_digest(message, self.modulus)
+        digest_int = encode_digest(message, self.modulus)
         sig_int = pow(digest_int, self.exponent, self.modulus)
         return sig_int.to_bytes(self.public.byte_length(), "big")
 
@@ -91,12 +91,14 @@ def generate_keypair(bits: int = 768, seed: int | None = None) -> RsaPrivateKey:
     raise KeyGenerationError("failed to generate an RSA key pair")
 
 
-def _encode_digest(message: bytes, modulus: int) -> int:
+def encode_digest(message: bytes, modulus: int) -> int:
     """Expand SHA-256(message) to an integer smaller than ``modulus``.
 
     Counter-mode expansion of the digest gives a full-domain-hash-style
     encoding; the top byte is cleared so the value is always below the
-    modulus.
+    modulus.  Exposed publicly because batch verification
+    (:meth:`repro.crypto.signatures.RsaVerifyKey.verify_many`) screens
+    products of these encodings against products of signatures.
     """
     target_len = (modulus.bit_length() + 7) // 8
     digest = hashing.hash_bytes(message)

@@ -10,14 +10,13 @@ and reports how far the audit lags behind the recording.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.audit.online import OnlineAuditor
 from repro.avmm.config import Configuration
 from repro.experiments.harness import GameSession, GameSessionSettings, format_table
 from repro.game.cheats.implementations import UnlimitedAmmoCheat
-from repro.metrics.framerate import FrameRateSample
 
 
 @dataclass

@@ -13,7 +13,7 @@ normalised to the cost of a full audit, exactly like the figure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.audit.auditor import Auditor
 from repro.audit.spot_check import SpotChecker

@@ -11,7 +11,7 @@ metrics helpers and auditing helpers every experiment needs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.audit.auditor import Auditor
 from repro.audit.verdict import AuditResult

@@ -1,0 +1,207 @@
+"""Parallel batch auditing of a fleet (Sections 6.6 and 6.12, scaled out).
+
+The paper's audits are embarrassingly parallel: different machines' logs are
+independent, and snapshots make the chunks of one log independent too.  This
+experiment builds a hosted-service fleet — ``N/2`` database servers, each
+driven by its own sql-bench-style client, all recorded under ``avmm-rsa768``
+— and then audits every machine on the
+:class:`~repro.audit.engine.AuditScheduler` at several worker counts.
+
+Two numbers are reported per worker count.  The *modelled* audit time comes
+from scheduling the calibrated per-chunk :class:`~repro.audit.verdict.AuditCost`
+totals onto the workers (:mod:`repro.metrics.parallel`); like every other
+number in this reproduction it is hardware-independent, and it is the number
+the speedup claims are made on.  The *measured* wall-clock of the real worker
+pool is reported alongside for flavour — it depends on how many cores the
+host actually has.
+
+Verdicts must be identical at every worker count; the engine guarantees it by
+re-running the serial auditor whenever a chunk fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.audit.auditor import Auditor
+from repro.audit.engine import AuditAssignment, AuditScheduler, FleetAuditReport
+from repro.avmm.config import AvmmConfig, Configuration
+from repro.avmm.monitor import AccountableVMM
+from repro.crypto.keys import KeyStore
+from repro.experiments.harness import build_trust, format_table
+from repro.network.simnet import SimulatedNetwork
+from repro.sim.scheduler import Scheduler
+from repro.vm.image import VMImage
+from repro.workloads.kvstore import make_kvserver_image
+from repro.workloads.sqlbench import SqlBenchSettings, make_sqlbench_image
+
+
+@dataclass
+class AuditFleet:
+    """A recorded fleet, ready to be audited."""
+
+    monitors: Dict[str, AccountableVMM]
+    reference_images: Dict[str, VMImage]
+    keystore: KeyStore
+    #: peer that holds each machine's authenticators (its pair partner)
+    peers: Dict[str, str]
+
+    @property
+    def machines(self) -> List[str]:
+        return sorted(self.monitors)
+
+    def make_auditor(self, target: str, identity: str = "auditor") -> Auditor:
+        """An external auditor holding the authenticators the peer collected."""
+        auditor = Auditor(identity, self.keystore, self.reference_images[target])
+        auditor.collect_from_peer(self.monitors[self.peers[target]], target)
+        return auditor
+
+    def assignments(self) -> List[AuditAssignment]:
+        return [AuditAssignment(self.make_auditor(machine), self.monitors[machine])
+                for machine in self.machines]
+
+
+def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
+                snapshot_interval: Optional[float] = 10.0) -> AuditFleet:
+    """Record a fleet of ``num_machines`` (server+client pairs) for auditing."""
+    if num_machines < 2 or num_machines % 2:
+        raise ValueError(f"fleet size must be an even number >= 2, got {num_machines}")
+    scheduler = Scheduler()
+    network = SimulatedNetwork(scheduler)
+    config = AvmmConfig.for_configuration(Configuration.AVMM_RSA768,
+                                          snapshot_interval=snapshot_interval)
+
+    pairs = [(f"db-server-{index:02d}", f"db-client-{index:02d}")
+             for index in range(num_machines // 2)]
+    identities = [identity for pair in pairs for identity in pair]
+    _, keypairs, keystore = build_trust(identities + ["auditor"],
+                                        scheme=config.signature_scheme, seed=seed)
+
+    monitors: Dict[str, AccountableVMM] = {}
+    reference_images: Dict[str, VMImage] = {}
+    peers: Dict[str, str] = {}
+    for index, (server, client) in enumerate(pairs):
+        server_image = make_kvserver_image()
+        client_image = make_sqlbench_image(SqlBenchSettings(server=server))
+        reference_images[server] = server_image
+        reference_images[client] = client_image
+        peers[server] = client
+        peers[client] = server
+        monitors[server] = AccountableVMM(
+            server, server_image, config, scheduler, network,
+            keypair=keypairs[server], keystore=keystore,
+            clock_offset=0.0005 * index)
+        monitors[client] = AccountableVMM(
+            client, client_image, config, scheduler, network,
+            keypair=keypairs[client], keystore=keystore,
+            clock_offset=0.0005 * index + 0.0002)
+
+    for monitor in monitors.values():
+        monitor.start()
+    scheduler.run_until(duration)
+    for monitor in monitors.values():
+        monitor.stop()
+    return AuditFleet(monitors=monitors, reference_images=reference_images,
+                      keystore=keystore, peers=peers)
+
+
+@dataclass
+class WorkerPoint:
+    """One worker count's outcome."""
+
+    workers: int
+    executor: str
+    chunks: int
+    measured_wall_seconds: float
+    modelled_serial_seconds: float
+    modelled_wall_seconds: float
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    report: Optional[FleetAuditReport] = None
+
+
+@dataclass
+class ParallelAuditResult:
+    """Speedup table of auditing one fleet at several worker counts."""
+
+    num_machines: int
+    duration: float
+    points: List[WorkerPoint] = field(default_factory=list)
+
+    def point(self, workers: int) -> WorkerPoint:
+        for point in self.points:
+            if point.workers == workers:
+                return point
+        raise KeyError(f"no data point for {workers} workers")
+
+    @property
+    def verdicts_identical(self) -> bool:
+        first = self.points[0].verdicts if self.points else {}
+        return all(point.verdicts == first for point in self.points)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(verdict == "pass"
+                   for point in self.points for verdict in point.verdicts.values())
+
+    def modelled_speedup(self, workers: int) -> float:
+        """Modelled audit time at ``workers=1`` over the time at ``workers``."""
+        baseline = self.point(1).modelled_wall_seconds
+        parallel = self.point(workers).modelled_wall_seconds
+        return baseline / parallel if parallel > 0 else 1.0
+
+    def measured_speedup(self, workers: int) -> float:
+        baseline = self.point(1).measured_wall_seconds
+        parallel = self.point(workers).measured_wall_seconds
+        return baseline / parallel if parallel > 0 else 1.0
+
+
+def run_parallel_audit(num_machines: int = 16, duration: float = 30.0,
+                       worker_counts: Sequence[int] = (1, 2, 4, 8),
+                       seed: int = 7,
+                       snapshot_interval: Optional[float] = 10.0,
+                       executor: str = "auto",
+                       keep_reports: bool = False) -> ParallelAuditResult:
+    """Audit one recorded fleet at every requested worker count."""
+    fleet = build_fleet(num_machines=num_machines, duration=duration, seed=seed,
+                        snapshot_interval=snapshot_interval)
+    result = ParallelAuditResult(num_machines=num_machines, duration=duration)
+    for workers in worker_counts:
+        engine = AuditScheduler(workers=workers, executor=executor)
+        report = engine.audit_fleet(fleet.assignments())
+        result.points.append(WorkerPoint(
+            workers=workers,
+            executor=report.executor_used,
+            chunks=report.chunk_count,
+            measured_wall_seconds=report.wall_seconds,
+            modelled_serial_seconds=report.modelled.serial_seconds,
+            modelled_wall_seconds=report.modelled.makespan_seconds,
+            verdicts={machine: audit.verdict.value
+                      for machine, audit in report.results.items()},
+            report=report if keep_reports else None,
+        ))
+    return result
+
+
+def main(num_machines: int = 16, duration: float = 30.0,
+         worker_counts: Sequence[int] = (1, 2, 4, 8)) -> ParallelAuditResult:
+    """Print the parallel-audit speedup table."""
+    result = run_parallel_audit(num_machines=num_machines, duration=duration,
+                                worker_counts=worker_counts)
+    rows: List[Tuple[object, ...]] = []
+    for point in result.points:
+        rows.append((point.workers, point.executor, point.chunks,
+                     f"{point.modelled_wall_seconds:.1f} s",
+                     f"{result.modelled_speedup(point.workers):.2f}x",
+                     f"{point.measured_wall_seconds:.2f} s"))
+    print(f"Parallel audit of a {num_machines}-machine fleet "
+          f"({duration:.0f} s of recorded activity per machine)")
+    print(format_table(["workers", "executor", "chunks", "modelled audit time",
+                        "modelled speedup", "measured wall"], rows))
+    print(f"\nverdicts identical across worker counts: {result.verdicts_identical}; "
+          f"all machines passed: {result.all_passed}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

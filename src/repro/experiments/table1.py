@@ -11,7 +11,7 @@ reports for the four non-OpenGL cheats it tried.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.audit.verdict import Verdict
 from repro.avmm.config import Configuration

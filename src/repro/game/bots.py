@@ -12,8 +12,8 @@ honest players succeed regardless of how the player behaved.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.avmm.monitor import AccountableVMM
 from repro.sim.process import Process

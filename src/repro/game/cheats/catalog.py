@@ -15,7 +15,7 @@ non-OpenGL subset end to end, as the paper did.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.game.cheats.base import CheatClass, CheatSpec
 

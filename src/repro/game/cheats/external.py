@@ -12,7 +12,7 @@ replay divergence.
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.avmm.monitor import AccountableVMM
 from repro.vm.guest import PacketOutput

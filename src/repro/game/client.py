@@ -15,12 +15,11 @@ execution and therefore fails replay when audited.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.game import protocol
-from repro.game.state import DEFAULT_WEAPON, GameMap
+from repro.game.state import DEFAULT_WEAPON
 from repro.vm.events import GuestEvent, KeyboardInput, PacketDelivery, TimerInterrupt
 from repro.vm.guest import GuestProgram, MachineApi
 

@@ -13,15 +13,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.game.state import (
-    DEFAULT_WEAPON,
-    GameMap,
-    GameState,
-    MAX_HEALTH,
-    MOVE_SPEED,
-    PlayerState,
-    Wall,
-)
+from repro.game.state import DEFAULT_WEAPON, GameState, MAX_HEALTH, MOVE_SPEED, PlayerState, Wall
 
 RESPAWN_DELAY_TICKS = 32
 RELOAD_AMOUNT = DEFAULT_WEAPON.magazine

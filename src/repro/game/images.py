@@ -9,6 +9,7 @@ builds *modified* images from them.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from repro.game.client import ClientSettings, GameClientGuest
@@ -30,7 +31,9 @@ def make_server_image(game_map: Optional[GameMap] = None,
     arena = game_map or GameMap.default_arena()
     return VMImage(
         name=name,
-        guest_factory=lambda: GameServerGuest(game_map=arena),
+        # partial() rather than a lambda: reference images must pickle into
+        # the parallel audit engine's worker processes.
+        guest_factory=partial(GameServerGuest, game_map=arena),
         disk_blocks=dict(_OFFICIAL_DISK),
         allow_software_installation=False,
         metadata={"role": "server"},
@@ -42,7 +45,7 @@ def make_client_image(settings: ClientSettings,
     """The agreed-upon client image for one player."""
     return VMImage(
         name=name or f"cs-client-official-{settings.player_id}",
-        guest_factory=lambda: GameClientGuest(settings),
+        guest_factory=partial(GameClientGuest, settings),
         disk_blocks=dict(_OFFICIAL_DISK),
         allow_software_installation=False,
         metadata={"role": "client", "player": settings.player_id},

@@ -9,7 +9,6 @@ always have identical bytes — replay compares payload hashes.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import GuestError

@@ -8,7 +8,7 @@ is allowed; all decisions are functions of the state and the inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 
 @dataclass(frozen=True)

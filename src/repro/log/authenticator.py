@@ -10,10 +10,11 @@ accumulate non-repudiable commitments to its log.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.crypto import hashing
 from repro.crypto.keys import KeyPair, KeyStore
+from repro.crypto.signatures import BatchVerifyResult
 from repro.errors import LogFormatError
 
 
@@ -81,6 +82,55 @@ class Authenticator:
 def signed_payload(sequence: int, chain_hash: bytes) -> bytes:
     """Canonical byte string the machine signs: ``s_i || h_i``."""
     return hashing.hash_concat(hashing.encode_int(sequence), chain_hash)
+
+
+def batch_verify_authenticators(
+        authenticators: Sequence[Authenticator],
+        keystore) -> Tuple[List[Authenticator], List[int], BatchVerifyResult]:
+    """Verify many authenticators from one machine with batched signatures.
+
+    Splits verification into its two parts: the internal consistency check
+    (recompute ``h_i`` from the advertised fields — pure hashing, done per
+    authenticator) and the signature check, which is delegated to the
+    keystore's verify-many API so a whole batch usually costs one screening
+    operation.  Returns ``(valid, invalid_indices, signature_stats)``; a
+    single bad authenticator in a large batch is pinpointed, not smeared over
+    the batch.
+
+    ``keystore`` may be a :class:`~repro.crypto.keys.KeyStore` or the
+    picklable :class:`~repro.crypto.keys.StaticKeyView` the audit engine
+    ships to worker processes.  All authenticators must come from the same
+    machine (callers group them per target first).
+    """
+    if not authenticators:
+        return [], [], BatchVerifyResult(total=0)
+    machine = authenticators[0].machine
+    invalid: List[int] = []
+    screenable: List[int] = []
+    for index, auth in enumerate(authenticators):
+        if auth.machine != machine:
+            raise LogFormatError(
+                f"batch mixes authenticators from {machine!r} and {auth.machine!r}")
+        recomputed = hashing.hash_concat(
+            auth.previous_hash,
+            hashing.encode_int(auth.sequence),
+            auth.entry_type.encode("utf-8"),
+            auth.content_hash,
+        )
+        if recomputed != auth.chain_hash:
+            invalid.append(index)
+        else:
+            screenable.append(index)
+
+    items = [(authenticators[i].signed_payload(), authenticators[i].signature)
+             for i in screenable]
+    stats = keystore.verify_many(machine, items)
+    invalid.extend(screenable[bad] for bad in stats.invalid_indices)
+    invalid.sort()
+    bad_set = set(invalid)
+    valid = [auth for index, auth in enumerate(authenticators)
+             if index not in bad_set]
+    return valid, invalid, stats
 
 
 def make_authenticator(keypair: KeyPair, *, sequence: int, chain_hash: bytes,

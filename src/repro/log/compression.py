@@ -21,7 +21,7 @@ from typing import Dict, List
 from repro.errors import LogFormatError
 from repro.log.entries import EntryType, LogEntry
 from repro.log.segments import LogSegment
-from repro.log.storage import segment_from_bytes, segment_to_bytes
+from repro.log.storage import segment_to_bytes
 
 
 def bzip2_compress(data: bytes, level: int = 9) -> bytes:

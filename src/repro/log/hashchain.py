@@ -4,15 +4,29 @@ Section 4.3: ``h_i = H(h_{i-1} || s_i || t_i || H(c_i))`` with ``h_0 := 0``.
 Because the hash is second-pre-image resistant, modifying, reordering or
 dropping any entry breaks the chain and is detected when the segment is
 checked against a previously issued authenticator.
+
+Verification comes in two forms.  :func:`verify_chain` checks a segment in
+one pass.  :func:`verify_chain_incremental` checks a segment given a
+:class:`ChainCheckpoint` — the ``(sequence, chain hash)`` pair immediately
+before its first entry, e.g. taken from the preceding chunk's last entry or
+from an authenticator the auditor already holds.  That is what lets the
+parallel audit engine hand disjoint chunks of one log to different workers:
+each worker proves its chunk extends its predecessor's checkpoint without
+rescanning the prefix, and the checkpoints it returns tile back into a proof
+for the whole log.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.crypto import hashing
 from repro.errors import HashChainError
 from repro.log.entries import EntryType, LogEntry, encode_content
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.log.authenticator import Authenticator
 
 
 def chain_hash(previous_hash: bytes, sequence: int, entry_type: EntryType,
@@ -34,6 +48,62 @@ def verify_entry(entry: LogEntry) -> bool:
     return expected == entry.chain_hash
 
 
+@dataclass(frozen=True)
+class ChainCheckpoint:
+    """The chain state immediately *after* entry ``sequence``.
+
+    ``sequence == 0`` with the zero hash is the state before the first entry
+    of a log.  A checkpoint is all a verifier needs to continue checking the
+    chain from that point on — it never has to look at earlier entries.
+    """
+
+    sequence: int
+    chain_hash: bytes
+
+    @staticmethod
+    def genesis() -> "ChainCheckpoint":
+        """The checkpoint before the very first log entry (``h_0 = 0``)."""
+        return ChainCheckpoint(sequence=0, chain_hash=hashing.ZERO_HASH)
+
+    @staticmethod
+    def from_entry(entry: LogEntry) -> "ChainCheckpoint":
+        """Checkpoint after a verified entry."""
+        return ChainCheckpoint(sequence=entry.sequence, chain_hash=entry.chain_hash)
+
+    @staticmethod
+    def from_authenticator(auth: "Authenticator") -> "ChainCheckpoint":
+        """Checkpoint after the entry a (verified) authenticator commits to."""
+        return ChainCheckpoint(sequence=auth.sequence, chain_hash=auth.chain_hash)
+
+
+def verify_chain_incremental(entries: Sequence[LogEntry],
+                             checkpoint: ChainCheckpoint) -> ChainCheckpoint:
+    """Verify that ``entries`` extend ``checkpoint`` by an unbroken chain.
+
+    The first entry must carry sequence ``checkpoint.sequence + 1`` and link
+    to ``checkpoint.chain_hash``; every later entry must extend its
+    predecessor.  Returns the checkpoint after the last entry (the input
+    checkpoint when ``entries`` is empty) so verification can resume — the
+    chunk-parallel audit checks ``returned == next chunk's checkpoint``.
+    Raises :class:`HashChainError` on any break.
+    """
+    previous_hash = checkpoint.chain_hash
+    previous_sequence = checkpoint.sequence
+    for entry in entries:
+        if entry.sequence != previous_sequence + 1:
+            raise HashChainError(
+                f"non-contiguous sequence numbers: {previous_sequence} -> {entry.sequence}")
+        if entry.previous_hash != previous_hash:
+            raise HashChainError(
+                f"chain break at sequence {entry.sequence}: previous hash mismatch")
+        if not verify_entry(entry):
+            raise HashChainError(
+                f"entry {entry.sequence} does not hash to its recorded chain value")
+        previous_hash = entry.chain_hash
+        previous_sequence = entry.sequence
+    return ChainCheckpoint(sequence=previous_sequence, chain_hash=previous_hash)
+
+
 def verify_chain(entries: Sequence[LogEntry], *,
                  expected_start_hash: bytes | None = None) -> None:
     """Verify that ``entries`` form an unbroken hash chain.
@@ -43,20 +113,15 @@ def verify_chain(entries: Sequence[LogEntry], *,
     beginning of the log it comes from the preceding snapshot entry or an
     earlier authenticator.  Raises :class:`HashChainError` on any break.
     """
-    previous: bytes | None = expected_start_hash
-    previous_sequence: int | None = None
-    for entry in entries:
-        if previous is not None and entry.previous_hash != previous:
-            raise HashChainError(
-                f"chain break at sequence {entry.sequence}: previous hash mismatch")
-        if previous_sequence is not None and entry.sequence != previous_sequence + 1:
-            raise HashChainError(
-                f"non-contiguous sequence numbers: {previous_sequence} -> {entry.sequence}")
-        if not verify_entry(entry):
-            raise HashChainError(
-                f"entry {entry.sequence} does not hash to its recorded chain value")
-        previous = entry.chain_hash
-        previous_sequence = entry.sequence
+    if not entries:
+        return
+    if expected_start_hash is not None \
+            and entries[0].previous_hash != expected_start_hash:
+        raise HashChainError(
+            f"chain break at sequence {entries[0].sequence}: previous hash mismatch")
+    start = ChainCheckpoint(sequence=entries[0].sequence - 1,
+                            chain_hash=entries[0].previous_hash)
+    verify_chain_incremental(entries, start)
 
 
 def is_chain_intact(entries: Iterable[LogEntry], *,

@@ -8,14 +8,13 @@ together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
 
-from repro.crypto import hashing
-from repro.errors import AuthenticatorMismatchError, HashChainError, SegmentError
+from repro.errors import AuthenticatorMismatchError, SegmentError
 from repro.log.authenticator import Authenticator
 from repro.log.entries import EntryType, LogEntry
-from repro.log.hashchain import verify_chain
+from repro.log.hashchain import ChainCheckpoint, verify_chain
 
 
 @dataclass
@@ -50,6 +49,20 @@ class LogSegment:
     def end_hash(self) -> bytes:
         """Chain hash after the last entry (``start_hash`` if empty)."""
         return self.entries[-1].chain_hash if self.entries else self.start_hash
+
+    def start_checkpoint(self) -> ChainCheckpoint:
+        """Chain state immediately before this segment's first entry."""
+        if not self.entries:
+            raise SegmentError("empty segment has no checkpoints")
+        return ChainCheckpoint(sequence=self.first_sequence - 1,
+                               chain_hash=self.start_hash)
+
+    def end_checkpoint(self) -> ChainCheckpoint:
+        """Chain state immediately after this segment's last entry."""
+        if not self.entries:
+            raise SegmentError("empty segment has no checkpoints")
+        return ChainCheckpoint(sequence=self.last_sequence,
+                               chain_hash=self.end_hash)
 
     def entries_of_type(self, entry_type: EntryType) -> List[LogEntry]:
         return [e for e in self.entries if e.entry_type is entry_type]
@@ -133,6 +146,31 @@ def concatenate_segments(segments: Sequence[LogSegment]) -> LogSegment:
         expected_hash = segment.end_hash
     return LogSegment(machine=machine, entries=entries,
                       start_hash=segments[0].start_hash)
+
+
+def partition_segments(segments: Sequence[LogSegment],
+                       max_chunks: int) -> List[LogSegment]:
+    """Group consecutive segments into at most ``max_chunks`` contiguous chunks.
+
+    This is the audit engine's work division: the snapshot-delimited segments
+    of one log are tiled (no overlap, unlike :func:`make_chunks`) into chunks
+    of near-equal segment count, each of which can be verified — and, because
+    chunk boundaries sit on snapshots, replayed — independently.  Returns
+    fewer chunks when there are fewer segments than ``max_chunks``.
+    """
+    if max_chunks < 1:
+        raise SegmentError(f"chunk count must be >= 1, got {max_chunks}")
+    if not segments:
+        return []
+    count = min(max_chunks, len(segments))
+    base, extra = divmod(len(segments), count)
+    chunks: List[LogSegment] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(concatenate_segments(segments[start:start + size]))
+        start += size
+    return chunks
 
 
 def make_chunks(segments: Sequence[LogSegment], k: int,

@@ -8,7 +8,7 @@ for audits and spot checks.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.crypto import hashing
 from repro.crypto.keys import KeyPair

@@ -12,6 +12,7 @@ metrics the paper reports:
 * :mod:`repro.metrics.latency` — ping round-trip times (Figure 5).
 * :mod:`repro.metrics.cpu` — per-hyperthread utilisation (Figure 6).
 * :mod:`repro.metrics.logstats` — log growth and content breakdown (Figures 3, 4).
+* :mod:`repro.metrics.parallel` — modelled makespan/speedup of parallel audits.
 """
 
 from repro.metrics.perfmodel import CostParameters, PerfModel
@@ -19,8 +20,12 @@ from repro.metrics.framerate import FrameRateModel, FrameRateSample
 from repro.metrics.latency import LatencyRecorder, summarize_rtts
 from repro.metrics.cpu import CpuModel, CpuUtilization
 from repro.metrics.logstats import LogGrowthSeries, log_content_breakdown
+from repro.metrics.parallel import ParallelSchedule, SpeedupCurve, schedule
 
 __all__ = [
+    "ParallelSchedule",
+    "SpeedupCurve",
+    "schedule",
     "CostParameters",
     "PerfModel",
     "FrameRateModel",

@@ -10,7 +10,7 @@ hashes, authenticators) is produced by the layer above.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import ChannelError

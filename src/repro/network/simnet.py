@@ -9,7 +9,7 @@ parties and alive to others).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeliveryError

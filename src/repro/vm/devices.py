@@ -14,7 +14,7 @@ exercise the relevant recording/replay path:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import DeviceError

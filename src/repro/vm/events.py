@@ -9,7 +9,7 @@ same point during replay (Section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict
 
 from repro.crypto import hashing

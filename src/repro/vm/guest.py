@@ -14,7 +14,7 @@ timing must come through the API (``read_clock``) so the AVMM can record it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from repro.crypto import hashing
 from repro.vm.events import GuestEvent

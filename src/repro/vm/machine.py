@@ -17,7 +17,7 @@ from repro.errors import GuestError, VMError
 from repro.vm.devices import FrameCounter, VirtualDisk, VirtualNic, VirtualTimer
 from repro.vm.events import GuestEvent
 from repro.vm.execution import ExecutionTimestamp
-from repro.vm.guest import DiskWriteOutput, MachineApi, Output, PacketOutput
+from repro.vm.guest import DiskWriteOutput, MachineApi, Output
 from repro.vm.image import VMImage
 
 # Abstract instruction costs charged for each API operation.  The absolute

@@ -16,10 +16,9 @@ inclusion proofs.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
-from repro.crypto import hashing
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.errors import SnapshotError
 from repro.vm.execution import ExecutionTimestamp

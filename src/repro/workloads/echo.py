@@ -9,6 +9,7 @@ configuration.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Dict
 
 from repro.vm.events import GuestEvent, PacketDelivery
@@ -88,5 +89,5 @@ def make_echo_image(name: str = "echo-official") -> VMImage:
 def make_ping_sender_image(target: str, name: str = "ping-sender") -> VMImage:
     """Image containing the ping sender aimed at ``target``."""
     return VMImage(name=f"{name}-{target}",
-                   guest_factory=lambda: PingSenderGuest(target),
+                   guest_factory=partial(PingSenderGuest, target),
                    disk_blocks={0: b"ping-tool"})

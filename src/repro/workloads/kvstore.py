@@ -9,7 +9,7 @@ incremental sizes), persists some of it to the virtual disk, and answers the
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from repro.errors import GuestError
 from repro.vm.events import GuestEvent, PacketDelivery, TimerInterrupt

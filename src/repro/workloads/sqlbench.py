@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from functools import partial
+from typing import Any, Dict
 
 from repro.vm.events import GuestEvent, PacketDelivery, TimerInterrupt
 from repro.vm.guest import GuestProgram, MachineApi
@@ -98,5 +99,5 @@ class SqlBenchClientGuest(GuestProgram):
 def make_sqlbench_image(settings: SqlBenchSettings,
                         name: str = "sql-bench-official") -> VMImage:
     """Image containing the benchmark client."""
-    return VMImage(name=name, guest_factory=lambda: SqlBenchClientGuest(settings),
+    return VMImage(name=name, guest_factory=partial(SqlBenchClientGuest, settings),
                    disk_blocks={0: b"sql-bench-standin"})

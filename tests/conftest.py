@@ -3,14 +3,26 @@
 Expensive artefacts (certified key pairs, a short recorded game session) are
 session-scoped so the many tests that only *read* them do not pay for them
 repeatedly.
+
+The package is normally installed with ``pip install -e .`` (CI does); for a
+clean checkout without an install, the fallback below puts the ``src/``
+layout on ``sys.path`` so plain ``python -m pytest`` still works.
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
+if "repro" not in sys.modules:
+    try:  # the installed package wins
+        import repro  # noqa: F401
+    except ImportError:  # clean checkout: fall back to the src/ layout
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
 import pytest
 
-from repro.avmm.config import AvmmConfig, Configuration
-from repro.avmm.monitor import AccountableVMM
+from repro.avmm.config import Configuration
 from repro.crypto.keys import CertificateAuthority, KeyStore
 from repro.experiments.harness import GameSession, GameSessionSettings
 from repro.game.cheats.implementations import UnlimitedAmmoCheat

@@ -7,14 +7,12 @@ These are integration-level tests that reuse the session fixtures from
 
 import pytest
 
-from repro.audit.auditor import Auditor
 from repro.audit.evidence import Evidence
 from repro.audit.multiparty import (
     ChallengeCoordinator,
     collect_authenticators_for,
     distribute_evidence,
 )
-from repro.audit.online import OnlineAuditor
 from repro.audit.spot_check import SpotChecker
 from repro.audit.syntactic import SyntacticChecker
 from repro.audit.verdict import AuditPhase, Verdict
@@ -110,6 +108,7 @@ class TestFullAudit:
             result.evidence.verify(cheater_session.keystore,
                                    cheater_session.reference_images["player2"])
 
+    @pytest.mark.slow
     def test_log_tampering_caught_by_authenticator_check(self):
         # A dedicated (mutable) session: Bob rewrites his own log after the fact.
         from repro.avmm.config import Configuration
@@ -206,6 +205,7 @@ class TestMultiParty:
 
 
 class TestExternalAdversaries:
+    @pytest.mark.slow
     def test_packet_forging_detected_even_without_image_modification(self):
         # Class-2 detection: the guest image is the reference image, but the
         # machine's outgoing packets are rewritten outside the AVM.

@@ -7,7 +7,6 @@ from repro.avmm.config import ALL_CONFIGURATIONS, AvmmConfig, Configuration
 from repro.avmm.monitor import AccountableVMM
 from repro.avmm.recorder import ExecutionRecorder
 from repro.avmm.replayer import DeterministicReplayer
-from repro.crypto.keys import KeyStore
 from repro.experiments.harness import build_trust
 from repro.log.entries import EntryType
 from repro.log.tamper_evident import TamperEvidentLog
@@ -161,6 +160,7 @@ class TestMonitor:
         with pytest.raises(Exception):
             alpha.start()
 
+    @pytest.mark.slow
     def test_message_exchange_logs_send_recv_ack(self):
         scheduler, network, keystore, alpha, beta = build_echo_pair()
         alpha.start()

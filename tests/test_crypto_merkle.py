@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.merkle import MerkleProof, MerkleTree, verify_partial_state
+from repro.crypto.merkle import MerkleTree, verify_partial_state
 from repro.errors import SnapshotError
 
 

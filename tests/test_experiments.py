@@ -14,7 +14,7 @@ from repro.experiments import fig3_log_growth, fig4_log_content, fig5_latency
 from repro.experiments import fig7_frame_rate, fig8_online_audit, fig9_spot_check
 from repro.experiments import fig6_cpu, sec65_frame_cap, sec66_audit_cost, sec67_traffic
 from repro.experiments import table1
-from repro.experiments.harness import GameSession, GameSessionSettings, format_table
+from repro.experiments.harness import format_table
 from repro.game.cheats.implementations import UnlimitedAmmoCheat
 
 
@@ -42,6 +42,7 @@ class TestTable1:
         assert result.summary.detectable == 26
         assert result.functional_checks == []
 
+    @pytest.mark.slow
     def test_functional_check_detects_cheater(self):
         check = table1.run_functional_check(UnlimitedAmmoCheat(), duration=6.0,
                                             num_players=2)
@@ -50,12 +51,14 @@ class TestTable1:
 
 
 class TestFigure3And4:
+    @pytest.mark.slow
     def test_log_growth_shape(self):
         result = fig3_log_growth.run_log_growth(duration=20.0, num_players=2,
                                                 sample_interval=5.0)
         assert result.avmm_mb_per_minute > result.vmware_mb_per_minute > 0
         assert result.avmm_series[-1][1] > result.avmm_series[0][1]
 
+    @pytest.mark.slow
     def test_log_content_shape(self):
         result = fig4_log_content.run_log_content(duration=20.0, num_players=2)
         assert result.replay_fraction > 0.5
@@ -101,6 +104,7 @@ class TestFigure6And7:
         assert frame_rate_result.pinned_sample.frames_per_second < \
             frame_rate_result.average_fps(Configuration.AVMM_RSA768)
 
+    @pytest.mark.slow
     def test_cpu_utilisation_shape(self):
         result = fig6_cpu.run_cpu(duration=8.0, num_players=2,
                                   configurations=[Configuration.BARE_HW,
@@ -112,6 +116,7 @@ class TestFigure6And7:
 
 
 class TestFigure8:
+    @pytest.mark.slow
     def test_online_audit_detects_cheat_and_costs_frames(self):
         result = fig8_online_audit.run_online_audit(duration=20.0, num_players=2,
                                                     audit_interval=5.0)
@@ -133,6 +138,7 @@ class TestFigure8:
 
 
 class TestFigure9:
+    @pytest.mark.slow
     def test_spot_check_costs_scale_with_k(self):
         result = fig9_spot_check.run_spot_check(duration=60.0, snapshot_interval=10.0,
                                                 k_values=(1, 2, 3))
@@ -147,6 +153,7 @@ class TestFigure9:
 
 
 class TestSection65:
+    @pytest.mark.slow
     def test_frame_cap_inflates_log_and_optimisation_recovers(self):
         result = sec65_frame_cap.run_frame_cap(duration=3.0)
         assert result.cap_growth_factor > 5.0
@@ -154,6 +161,7 @@ class TestSection65:
 
 
 class TestSection66And67:
+    @pytest.mark.slow
     def test_audit_cost_split(self):
         result = sec66_audit_cost.run_audit_cost(duration=10.0, num_players=2)
         assert result.audit_passed
@@ -161,6 +169,7 @@ class TestSection66And67:
         assert result.semantic_seconds > result.compression_seconds
         assert 0.5 < result.semantic_fraction_of_recording < 2.0
 
+    @pytest.mark.slow
     def test_traffic_overhead(self):
         result = sec67_traffic.run_traffic(duration=10.0, num_players=2)
         assert result.overhead_factor > 1.5

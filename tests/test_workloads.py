@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.vm.events import KeyboardInput, PacketDelivery, TimerInterrupt
 from repro.vm.machine import FixedNondeterminismSource, VirtualMachine
