@@ -22,6 +22,7 @@ recording features off, which lets every experiment use identical wiring.
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -31,8 +32,10 @@ from repro.avmm.recorder import ExecutionRecorder
 from repro.crypto.keys import KeyPair, KeyStore
 from repro.errors import VMError
 from repro.log.authenticator import Authenticator
+from repro.log.compression import VmmLogCompressor
 from repro.log.entries import EntryType, ack_content, recv_content, send_content
 from repro.log.segments import LogSegment
+from repro.log.storage import authenticators_to_bytes
 from repro.log.tamper_evident import TamperEvidentLog
 from repro.metrics.perfmodel import PerfModel
 from repro.network.channel import ReliableChannel
@@ -117,6 +120,12 @@ class AccountableVMM:
         self._snapshot_process: Optional[Process] = None
         self._timer_ticks = 0
         self._running = False
+
+        #: archive shipping state (attach_archive_shipper)
+        self._archive_destination: Optional[str] = None
+        self._archive_ship_authenticators = True
+        self._shipped_through = 0
+        self._shipped_auth_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -369,7 +378,123 @@ class AccountableVMM:
                                        self.vm.execution_timestamp)
         self.recorder.record_snapshot(snapshot.snapshot_id, snapshot.state_root,
                                       snapshot.execution)
+        self._ship_sealed_segment(snapshot.snapshot_id)
         return snapshot.snapshot_id
+
+    # ------------------------------------------------------------------ archive shipping
+
+    def attach_archive_shipper(self, destination: str,
+                               ship_authenticators: bool = True) -> None:
+        """Stream sealed log state to an archive service (Section 4.2 durably).
+
+        After every snapshot the segment it seals — the entries since the
+        previous seal, ending with the SNAPSHOT entry — is compressed and
+        sent to ``destination`` (an :class:`~repro.service.ingest.
+        AuditIngestService` endpoint), preceded by the snapshot state so the
+        archive can later start replays at the boundary.  With
+        ``ship_authenticators`` the authenticators collected from peers ride
+        along, filed under their issuer.  Shipping is fire-and-forget over
+        the ordinary simulated network; the archive verifies the hash chain
+        on arrival, so a lost or tampered shipment is detected, never
+        silently archived.
+        """
+        self._archive_destination = destination
+        self._archive_ship_authenticators = ship_authenticators
+
+    @property
+    def shipped_through(self) -> int:
+        """Sequence number of the last log entry shipped to the archive."""
+        return self._shipped_through
+
+    @property
+    def archive_shipping_complete(self) -> bool:
+        """True when everything shippable has been accepted by the network.
+
+        Covers both the log (entries up to the head) and, when enabled, the
+        authenticators collected from peers — a dropped authenticator batch
+        leaves this ``False`` until a re-ship succeeds.
+        """
+        if self._archive_destination is None or not self.config.tamper_evident:
+            return True
+        if self._shipped_through < len(self.log):
+            return False
+        if self._archive_ship_authenticators:
+            for peer, collected in self.received_authenticators.items():
+                if self._shipped_auth_counts.get(peer, 0) < len(collected):
+                    return False
+        return True
+
+    def ship_archive_tail(self) -> bool:
+        """Ship the unsealed tail of the log (entries after the last seal).
+
+        Called at the end of a run so the archive holds the *whole* log, not
+        just the snapshot-sealed prefix.  Returns ``True`` if anything was
+        shipped (pending peer authenticators count too).
+        """
+        shipped = self._ship_sealed_segment(None)
+        return self._ship_peer_authenticators() > 0 or shipped
+
+    def _ship_sealed_segment(self, snapshot_id: Optional[int]) -> bool:
+        if self._archive_destination is None or self.network is None \
+                or not self.config.tamper_evident:
+            return False
+        last = len(self.log)
+        if last <= self._shipped_through:
+            return False
+        segment = self.log.segment(self._shipped_through + 1, last)
+        snapshot_delivered = False
+        if snapshot_id is not None:
+            snapshot = self.snapshots.get(snapshot_id)
+            snapshot_delivered = self.network.send(NetworkMessage(
+                source=self.identity, destination=self._archive_destination,
+                payload=json.dumps({
+                    "snapshot_id": snapshot.snapshot_id,
+                    "state": snapshot.state,
+                    "state_root": snapshot.state_root.hex(),
+                    "transfer_bytes": self.snapshots.transfer_cost_bytes(
+                        snapshot.snapshot_id),
+                    "execution": snapshot.execution.to_dict(),
+                }, sort_keys=True).encode("utf-8"),
+                kind=MessageKind.ARCHIVE_SNAPSHOT))
+        # Only advertise the seal if the snapshot actually went out: a
+        # segment without its boundary snapshot must not become a GC/chunk
+        # boundary on the archive side.
+        headers = {"sealed_by_snapshot": snapshot_id} if snapshot_delivered else {}
+        accepted = self.network.send(NetworkMessage(
+            source=self.identity, destination=self._archive_destination,
+            payload=VmmLogCompressor().compress(segment),
+            kind=MessageKind.ARCHIVE_SEGMENT, headers=headers))
+        if not accepted:
+            # Dropped at send time (loss/partition): keep the shipping cursor
+            # where it is so the next seal or tail re-ships these entries —
+            # the archive requires contiguity, so skipping would wedge it.
+            return False
+        self._shipped_through = last
+        if self._archive_ship_authenticators:
+            self._ship_peer_authenticators()
+        return True
+
+    def _ship_peer_authenticators(self) -> int:
+        """Ship authenticators newly collected from peers; returns the count."""
+        if self._archive_destination is None or self.network is None \
+                or not self._archive_ship_authenticators:
+            return 0
+        shipped = 0
+        for peer, collected in sorted(self.received_authenticators.items()):
+            already = self._shipped_auth_counts.get(peer, 0)
+            fresh = collected[already:]
+            if not fresh:
+                continue
+            accepted = self.network.send(NetworkMessage(
+                source=self.identity, destination=self._archive_destination,
+                payload=authenticators_to_bytes(fresh),
+                kind=MessageKind.ARCHIVE_AUTHENTICATORS,
+                headers={"subject": peer}))
+            if not accepted:
+                continue  # dropped: re-ship from the same offset next time
+            self._shipped_auth_counts[peer] = len(collected)
+            shipped += len(fresh)
+        return shipped
 
     # ------------------------------------------------------------------ audit serving
 

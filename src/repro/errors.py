@@ -131,6 +131,22 @@ class MissingSnapshotError(AuditError):
 
 
 # ---------------------------------------------------------------------------
+# Durable log archive
+# ---------------------------------------------------------------------------
+
+class StoreError(ReproError):
+    """Base class for durable log-archive failures."""
+
+
+class ArchiveIntegrityError(StoreError):
+    """The on-disk archive state is corrupt or internally inconsistent."""
+
+
+class RetentionError(StoreError):
+    """A log-truncation (retention/GC) request cannot be honoured."""
+
+
+# ---------------------------------------------------------------------------
 # Network
 # ---------------------------------------------------------------------------
 

@@ -18,6 +18,10 @@ the examples and EXPERIMENTS.md use the same code paths.
 | Section 6.5 (frame-rate cap)  | :mod:`repro.experiments.sec65_frame_cap` |
 | Section 6.6 (audit cost)      | :mod:`repro.experiments.sec66_audit_cost` |
 | Section 6.7 (network traffic) | :mod:`repro.experiments.sec67_traffic` |
+
+Beyond the paper: :mod:`repro.experiments.parallel_audit` (the batch-audit
+engine speedup) and :mod:`repro.experiments.archive_ingest` (the durable
+archive + audit-ingest pipeline lifecycle).
 """
 
 from repro.experiments.harness import GameSession, GameSessionSettings, format_table

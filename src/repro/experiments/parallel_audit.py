@@ -29,9 +29,12 @@ from repro.audit.engine import AuditAssignment, AuditScheduler, FleetAuditReport
 from repro.avmm.config import AvmmConfig, Configuration
 from repro.avmm.monitor import AccountableVMM
 from repro.crypto.keys import KeyStore
+from repro.errors import StoreError
 from repro.experiments.harness import build_trust, format_table
 from repro.network.simnet import SimulatedNetwork
+from repro.service.ingest import DEFAULT_INGEST_IDENTITY, AuditIngestService
 from repro.sim.scheduler import Scheduler
+from repro.store.archive import LogArchive
 from repro.vm.image import VMImage
 from repro.workloads.kvstore import make_kvserver_image
 from repro.workloads.sqlbench import SqlBenchSettings, make_sqlbench_image
@@ -46,15 +49,25 @@ class AuditFleet:
     keystore: KeyStore
     #: peer that holds each machine's authenticators (its pair partner)
     peers: Dict[str, str]
+    #: the audit-ingest service, when the fleet was recorded with an archive
+    ingest: Optional[AuditIngestService] = None
+    scheduler: Optional[Scheduler] = None
 
     @property
     def machines(self) -> List[str]:
         return sorted(self.monitors)
 
-    def make_auditor(self, target: str, identity: str = "auditor") -> Auditor:
-        """An external auditor holding the authenticators the peer collected."""
+    def make_auditor(self, target: str, identity: str = "auditor",
+                     collect: bool = True) -> Auditor:
+        """An external auditor holding the authenticators the peer collected.
+
+        ``collect=False`` returns the auditor empty-handed — the right
+        starting point for archive-backed audits, where the ingest service
+        supplies the archived authenticators instead of a live peer.
+        """
         auditor = Auditor(identity, self.keystore, self.reference_images[target])
-        auditor.collect_from_peer(self.monitors[self.peers[target]], target)
+        if collect:
+            auditor.collect_from_peer(self.monitors[self.peers[target]], target)
         return auditor
 
     def assignments(self) -> List[AuditAssignment]:
@@ -63,8 +76,18 @@ class AuditFleet:
 
 
 def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
-                snapshot_interval: Optional[float] = 10.0) -> AuditFleet:
-    """Record a fleet of ``num_machines`` (server+client pairs) for auditing."""
+                snapshot_interval: Optional[float] = 10.0,
+                archive: Optional[LogArchive] = None,
+                ingest_identity: str = DEFAULT_INGEST_IDENTITY) -> AuditFleet:
+    """Record a fleet of ``num_machines`` (server+client pairs) for auditing.
+
+    With an ``archive``, an :class:`~repro.service.ingest.AuditIngestService`
+    joins the network under ``ingest_identity`` and every monitor streams its
+    sealed segments (plus boundary snapshots and collected peer
+    authenticators) to it during the run; the unsealed log tails are shipped
+    and drained before the fleet is returned, so the archive holds each
+    machine's complete log.
+    """
     if num_machines < 2 or num_machines % 2:
         raise ValueError(f"fleet size must be an even number >= 2, got {num_machines}")
     scheduler = Scheduler()
@@ -97,13 +120,50 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
             keypair=keypairs[client], keystore=keystore,
             clock_offset=0.0005 * index + 0.0002)
 
+    ingest: Optional[AuditIngestService] = None
+    if archive is not None:
+        ingest = AuditIngestService(archive, identity=ingest_identity,
+                                    network=network)
+        for monitor in monitors.values():
+            monitor.attach_archive_shipper(ingest_identity)
+
     for monitor in monitors.values():
         monitor.start()
     scheduler.run_until(duration)
     for monitor in monitors.values():
         monitor.stop()
+    if ingest is not None:
+        drain_fleet_to_archive(scheduler, monitors)
     return AuditFleet(monitors=monitors, reference_images=reference_images,
-                      keystore=keystore, peers=peers)
+                      keystore=keystore, peers=peers, ingest=ingest,
+                      scheduler=scheduler)
+
+
+def drain_fleet_to_archive(scheduler: Scheduler,
+                           monitors: Dict[str, AccountableVMM],
+                           settle: float = 1.0, max_rounds: int = 5) -> None:
+    """Flush in-flight traffic, ship the log tails, and deliver everything.
+
+    Delivering a straggler message can append new log entries (a RECV plus
+    its ACK), so tail shipping repeats until a whole round ships nothing —
+    at that point every monitor's archive mirrors its log exactly.  Raises
+    :class:`~repro.errors.StoreError` if the fleet is still producing or
+    dropping shipments after ``max_rounds`` (e.g. an unhealed partition to
+    the ingest endpoint) rather than returning an incomplete archive.
+    """
+    scheduler.run_until(scheduler.clock.now + settle)
+    for _ in range(max_rounds):
+        shipped = [monitor.ship_archive_tail() for monitor in monitors.values()]
+        scheduler.run_until(scheduler.clock.now + settle)
+        if not any(shipped):
+            break
+    unshipped = sorted(monitor.identity for monitor in monitors.values()
+                       if not monitor.archive_shipping_complete)
+    if unshipped:
+        raise StoreError(
+            f"archive drain did not converge: {unshipped} still have "
+            f"unshipped log entries or authenticators after "
+            f"{max_rounds} rounds")
 
 
 @dataclass

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import IO, Iterable, Iterator, List, Union
 
 from repro.errors import LogFormatError
 from repro.log.authenticator import Authenticator
@@ -40,14 +40,7 @@ def segment_from_bytes(data: bytes) -> LogSegment:
     lines = data.decode("utf-8").splitlines()
     if not lines:
         raise LogFormatError("empty segment data")
-    try:
-        header = json.loads(lines[0])
-    except json.JSONDecodeError as exc:
-        raise LogFormatError(f"bad segment header: {exc}") from exc
-    if header.get("kind") != "log_segment":
-        raise LogFormatError(f"not a log segment: kind={header.get('kind')!r}")
-    if header.get("format_version") != _FORMAT_VERSION:
-        raise LogFormatError(f"unsupported format version {header.get('format_version')!r}")
+    header = parse_segment_header(lines[0])
     entries: List[LogEntry] = []
     for line in lines[1:]:
         if not line.strip():
@@ -77,6 +70,59 @@ def read_segment(path: Union[str, Path]) -> LogSegment:
     return segment_from_bytes(Path(path).read_bytes())
 
 
+def parse_segment_header(line: str) -> dict:
+    """Parse and validate the header line of a serialised segment."""
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"bad segment header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("kind") != "log_segment":
+        kind = header.get("kind") if isinstance(header, dict) else None
+        raise LogFormatError(f"not a log segment: kind={kind!r}")
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise LogFormatError(
+            f"unsupported format version {header.get('format_version')!r}")
+    return header
+
+
+def iter_segment_entries(source: Union[str, Path, IO[str]]) -> Iterator[LogEntry]:
+    """Stream the entries of a serialised segment, one at a time.
+
+    ``source`` is a path to a file written by :func:`write_segment`, or an
+    open text file object positioned at the header line.  Entries are parsed
+    lazily, so a multi-gigabyte segment file never has to be held in memory;
+    the header is validated (kind and format version) before the first entry
+    is yielded.  The per-entry hash chain is *not* verified here — callers
+    feed the stream to :func:`repro.log.hashchain.verify_chain_incremental`.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from _iter_entries(handle)
+    else:
+        yield from _iter_entries(source)
+
+
+def _iter_entries(handle: IO[str]) -> Iterator[LogEntry]:
+    header_line = handle.readline()
+    if not header_line.strip():
+        raise LogFormatError("empty segment data")
+    header = parse_segment_header(header_line)
+    count = 0
+    for line in handle:
+        if not line.strip():
+            continue
+        try:
+            entry = LogEntry.from_dict(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"bad log entry line: {exc}") from exc
+        count += 1
+        yield entry
+    expected = int(header.get("entry_count", count))
+    if count != expected:
+        raise LogFormatError(
+            f"entry count mismatch: header says {expected}, found {count}")
+
+
 def authenticators_to_bytes(authenticators: Iterable[Authenticator]) -> bytes:
     """Serialise a collection of authenticators to JSON-lines bytes."""
     lines = [json.dumps({"format_version": _FORMAT_VERSION, "kind": "authenticators"},
@@ -96,6 +142,9 @@ def authenticators_from_bytes(data: bytes) -> List[Authenticator]:
         raise LogFormatError(f"bad authenticator header: {exc}") from exc
     if header.get("kind") != "authenticators":
         raise LogFormatError(f"not an authenticator file: kind={header.get('kind')!r}")
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise LogFormatError(
+            f"unsupported format version {header.get('format_version')!r}")
     result = []
     for line in lines[1:]:
         if not line.strip():

@@ -19,6 +19,15 @@ from repro.log.hashchain import chain_hash
 from repro.log.segments import LogSegment
 
 
+def _zero_clock() -> float:
+    """Default clock: timestamps are bookkeeping only, so 0.0 is fine.
+
+    A module-level function (not a lambda) so a log — and anything holding
+    one — stays picklable under the process-pool audit path.
+    """
+    return 0.0
+
+
 class TamperEvidentLog:
     """A machine's tamper-evident log.
 
@@ -42,7 +51,7 @@ class TamperEvidentLog:
                  clock: Optional[Callable[[], float]] = None) -> None:
         self.machine = machine
         self.keypair = keypair
-        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._clock = clock if clock is not None else _zero_clock
         self._entries: List[LogEntry] = []
         self._current_hash: bytes = hashing.ZERO_HASH
         self._next_sequence = 1

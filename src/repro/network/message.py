@@ -38,6 +38,11 @@ class MessageKind(enum.Enum):
     EVIDENCE = "evidence"             # evidence distributed to other parties
     PING = "ping"                     # latency measurement (Figure 5)
     PONG = "pong"
+    # Archive-ingest stream (machines shipping sealed log state to the
+    # durable archive service; see repro.service.ingest).
+    ARCHIVE_SEGMENT = "archive_segment"          # compressed sealed segment
+    ARCHIVE_AUTHENTICATORS = "archive_auths"     # batch of peer authenticators
+    ARCHIVE_SNAPSHOT = "archive_snapshot"        # VM state at a seal boundary
 
 
 @dataclass

@@ -1,0 +1,291 @@
+"""The fleet audit-ingest pipeline.
+
+:class:`AuditIngestService` is the datacenter-side counterpart of the AVMM's
+segment shipping hook (:meth:`repro.avmm.monitor.AccountableVMM.
+attach_archive_shipper`).  It registers as an endpoint on the simulated
+network and consumes three message kinds:
+
+* ``ARCHIVE_SNAPSHOT`` — the VM state at a seal boundary, stored so
+  archive-backed audits can start replay mid-log;
+* ``ARCHIVE_SEGMENT`` — a sealed, compressed log segment, appended to the
+  durable :class:`~repro.store.archive.LogArchive` (which re-verifies the
+  hash chain at the door — a shipment that does not extend the machine's
+  archived head is quarantined, not stored);
+* ``ARCHIVE_AUTHENTICATORS`` — authenticators a machine collected from its
+  peers, filed under their issuer so auditors can later check any machine's
+  archived log against the commitments it gave out.
+
+Every successfully archived segment enqueues its machine on the per-machine
+audit queue; :meth:`audit_pending` drains the queue by feeding the archived
+logs straight into PR 1's :class:`~repro.audit.engine.AuditScheduler` via
+:class:`~repro.service.target.ArchiveBackedMachine` targets.  Machines whose
+archive has been truncated by retention GC are audited on the serial path
+with the boundary snapshot as the replay start — the same protocol a spot
+check uses for a mid-log chunk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.audit.auditor import Auditor
+from repro.audit.engine import AuditAssignment, AuditScheduler
+from repro.audit.verdict import AuditResult
+from repro.errors import HashChainError, LogFormatError, StoreError
+from repro.log.compression import VmmLogCompressor
+from repro.log.segments import LogSegment
+from repro.log.storage import authenticators_from_bytes
+from repro.network.message import MessageKind, NetworkMessage
+from repro.network.simnet import SimulatedNetwork
+from repro.service.target import ArchiveBackedMachine
+from repro.store.archive import LogArchive
+
+DEFAULT_INGEST_IDENTITY = "audit-ingest"
+
+
+@dataclass
+class IngestStats:
+    """Work counters for the ingest pipeline."""
+
+    messages_received: int = 0
+    segments_ingested: int = 0
+    entries_ingested: int = 0
+    raw_bytes_ingested: int = 0
+    stored_bytes: int = 0
+    authenticators_ingested: int = 0
+    snapshots_ingested: int = 0
+    segments_rejected: int = 0
+
+
+@dataclass
+class QuarantinedShipment:
+    """A shipment the archive refused (chain break, fork, or garbage)."""
+
+    machine: str
+    reason: str
+    first_sequence: int = 0
+    last_sequence: int = 0
+
+
+class AuditIngestService:
+    """Receives streamed log state from a fleet and archives it durably."""
+
+    def __init__(self, archive: LogArchive,
+                 identity: str = DEFAULT_INGEST_IDENTITY,
+                 network: Optional[SimulatedNetwork] = None) -> None:
+        self.archive = archive
+        self.identity = identity
+        self.network = network
+        self.stats = IngestStats()
+        self.quarantine: List[QuarantinedShipment] = []
+        self._compressor = VmmLogCompressor()
+        #: machines with archived-but-unaudited segments, with segment counts
+        self._pending: Dict[str, int] = {}
+        if network is not None:
+            network.register(identity, self.on_message)
+
+    # -- network ingestion ---------------------------------------------------
+
+    def on_message(self, message: NetworkMessage) -> None:
+        """Delivery callback registered with the simulated network."""
+        self.stats.messages_received += 1
+        if message.kind is MessageKind.ARCHIVE_SEGMENT:
+            self._on_segment(message)
+        elif message.kind is MessageKind.ARCHIVE_AUTHENTICATORS:
+            self._on_authenticators(message)
+        elif message.kind is MessageKind.ARCHIVE_SNAPSHOT:
+            self._on_snapshot(message)
+        # Anything else is not part of the ingest protocol; ignore it.
+
+    def _on_segment(self, message: NetworkMessage) -> None:
+        try:
+            segment = self._compressor.decompress(message.payload)
+        except (LogFormatError, OSError, EOFError, ValueError, KeyError,
+                TypeError) as exc:
+            # bz2 raises OSError/EOFError on garbage, the decoder KeyError/
+            # ValueError on structurally wrong JSON — all quarantine, never
+            # crash the delivery callback.
+            self.stats.segments_rejected += 1
+            self.quarantine.append(QuarantinedShipment(
+                machine=message.source, reason=f"undecodable segment: {exc}"))
+            return
+        if segment.machine != message.source:
+            self.stats.segments_rejected += 1
+            self.quarantine.append(QuarantinedShipment(
+                machine=message.source,
+                reason=f"shipment claims to be from {segment.machine!r}"))
+            return
+        sealed = message.headers.get("sealed_by_snapshot")
+        self.ingest_segment(segment,
+                            sealed_by_snapshot=int(sealed) if sealed else None)
+
+    def _on_authenticators(self, message: NetworkMessage) -> None:
+        subject = str(message.headers.get("subject", ""))
+        try:
+            batch = authenticators_from_bytes(message.payload)
+        except (LogFormatError, ValueError, KeyError, TypeError) as exc:
+            self.quarantine.append(QuarantinedShipment(
+                machine=message.source,
+                reason=f"undecodable authenticator batch: {exc}"))
+            return
+        self.ingest_authenticators(subject or message.source, batch)
+
+    def _on_snapshot(self, message: NetworkMessage) -> None:
+        try:
+            payload = json.loads(message.payload.decode("utf-8"))
+            self.ingest_snapshot(
+                machine=message.source,
+                snapshot_id=int(payload["snapshot_id"]),
+                state=dict(payload["state"]),
+                state_root=bytes.fromhex(payload["state_root"]),
+                transfer_bytes=int(payload["transfer_bytes"]),
+                execution=dict(payload.get("execution", {})),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            self.quarantine.append(QuarantinedShipment(
+                machine=message.source,
+                reason=f"undecodable snapshot: {exc}"))
+
+    # -- direct ingestion (network-free path, also used by the handlers) -----
+
+    def ingest_segment(self, segment: LogSegment,
+                       sealed_by_snapshot: Optional[int] = None) -> bool:
+        """Archive one sealed segment; returns ``False`` if quarantined."""
+        try:
+            record = self.archive.append_segment(
+                segment, sealed_by_snapshot=sealed_by_snapshot)
+        except (HashChainError, StoreError) as exc:
+            self.stats.segments_rejected += 1
+            first = segment.entries[0].sequence if segment.entries else 0
+            last = segment.entries[-1].sequence if segment.entries else 0
+            self.quarantine.append(QuarantinedShipment(
+                machine=segment.machine, reason=str(exc),
+                first_sequence=first, last_sequence=last))
+            return False
+        self.stats.segments_ingested += 1
+        self.stats.entries_ingested += record.entry_count
+        self.stats.raw_bytes_ingested += record.raw_bytes
+        self.stats.stored_bytes += record.stored_bytes
+        self._pending[segment.machine] = self._pending.get(segment.machine, 0) + 1
+        return True
+
+    def ingest_authenticators(self, machine, authenticators) -> int:
+        """Archive a batch of authenticators issued by ``machine``."""
+        record = self.archive.store_authenticators(machine, list(authenticators))
+        added = record.count if record is not None else 0
+        self.stats.authenticators_ingested += added
+        return added
+
+    def ingest_snapshot(self, machine: str, snapshot_id: int, state: dict,
+                        state_root: bytes, transfer_bytes: int,
+                        execution: Optional[dict] = None) -> None:
+        """Archive the VM state at a seal boundary."""
+        self.archive.store_snapshot(machine, snapshot_id, state, state_root,
+                                    transfer_bytes, execution=execution)
+        self.stats.snapshots_ingested += 1
+
+    # -- the audit queue -----------------------------------------------------
+
+    def pending_machines(self) -> List[str]:
+        """Machines with archived segments not yet covered by an audit."""
+        return sorted(self._pending)
+
+    def pending_segments(self, machine: str) -> int:
+        return self._pending.get(machine, 0)
+
+    def target_for(self, machine: str) -> ArchiveBackedMachine:
+        """An audit target serving ``machine``'s log from the archive."""
+        return ArchiveBackedMachine(self.archive, machine)
+
+    def prepare_auditor(self, auditor: Auditor, machine: str) -> int:
+        """Hand the auditor every archived authenticator for ``machine``."""
+        return auditor.collect_authenticators(
+            machine, self.archive.authenticators_for(machine))
+
+    def audit_machine(self, auditor: Auditor, machine: str) -> AuditResult:
+        """Audit one machine straight from the archive.
+
+        The auditor first collects the machine's archived authenticators.
+        An untruncated archive is audited exactly like a live machine (and
+        runs chunk-parallel when the auditor has an engine); a truncated one
+        is audited from the retention boundary's snapshot, like a spot-check
+        chunk.  Either way the machine leaves the pending queue.
+        """
+        self.prepare_auditor(auditor, machine)
+        target = self.target_for(machine)
+        if target.is_truncated():
+            state, snapshot_bytes = target.initial_state()
+            result = auditor.audit_segment(machine, target.get_log_segment(),
+                                           initial_state=state,
+                                           snapshot_bytes=snapshot_bytes)
+        else:
+            result = auditor.audit(target)
+        self._pending.pop(machine, None)
+        return result
+
+    def assignments(self, make_auditor: Callable[[str], Auditor]
+                    ) -> List[AuditAssignment]:
+        """Fleet assignments for every pending, untruncated machine."""
+        result = []
+        for machine in self.pending_machines():
+            if self.target_for(machine).is_truncated():
+                continue
+            auditor = make_auditor(machine)
+            self.prepare_auditor(auditor, machine)
+            result.append(AuditAssignment(auditor, self.target_for(machine)))
+        return result
+
+    def audit_pending(self, make_auditor: Callable[[str], Auditor],
+                      engine: Optional[AuditScheduler] = None
+                      ) -> Dict[str, AuditResult]:
+        """Drain the audit queue; returns per-machine results.
+
+        Untruncated machines go through the (possibly parallel) fleet
+        scheduler in one batch; truncated ones take the serial
+        snapshot-anchored path.  All audited machines are dequeued.
+        """
+        results: Dict[str, AuditResult] = {}
+        fleet = self.assignments(make_auditor)
+        if fleet:
+            scheduler = engine or AuditScheduler(workers=1)
+            report = scheduler.audit_fleet(fleet)
+            results.update(report.results)
+            for machine in report.results:
+                self._pending.pop(machine, None)
+        for machine in self.pending_machines():
+            results[machine] = self.audit_machine(make_auditor(machine), machine)
+        return results
+
+
+@dataclass
+class _IngestReportRow:
+    """One machine's line in :func:`format_ingest_report`."""
+
+    machine: str
+    segments: int
+    entries: int
+    stored_bytes: int
+    verdict: str = "-"
+
+
+def format_ingest_report(service: AuditIngestService,
+                         results: Optional[Dict[str, AuditResult]] = None) -> str:
+    """Human-readable summary of what the service has archived (and decided)."""
+    rows: List[_IngestReportRow] = []
+    for machine in service.archive.machines():
+        records = service.archive.segment_records(machine)
+        row = _IngestReportRow(
+            machine=machine, segments=len(records),
+            entries=sum(record.entry_count for record in records),
+            stored_bytes=sum(record.stored_bytes for record in records))
+        if results and machine in results:
+            row.verdict = results[machine].verdict.value
+        rows.append(row)
+    lines = [f"{'machine':<16} {'segments':>8} {'entries':>8} "
+             f"{'stored':>10} {'verdict':>9}"]
+    for row in rows:
+        lines.append(f"{row.machine:<16} {row.segments:>8d} {row.entries:>8d} "
+                     f"{row.stored_bytes:>9d}B {row.verdict:>9}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Durable log storage (the archive behind the audit-ingest pipeline).
+
+The paper's machines keep their tamper-evident logs until a mutually-agreed
+checkpoint lets them truncate (Section 4.2); at datacenter scale that means
+a durable, indexed, garbage-collected archive rather than a log in RAM.
+
+* :mod:`repro.store.manifest` — the atomic on-disk index (segment ranges,
+  chain hashes, authenticator batches, snapshots, retention checkpoints).
+* :mod:`repro.store.archive` — :class:`LogArchive`: append-only compressed
+  segment files rolled at snapshot boundaries, chain-verified ingest,
+  crash recovery, binary-search range lookup and checkpoint GC.
+"""
+
+from repro.store.archive import (
+    ArchiveSnapshotStore,
+    ArchiveStats,
+    LogArchive,
+    RecoveryReport,
+)
+from repro.store.manifest import (
+    AuthBatchRecord,
+    Manifest,
+    SegmentRecord,
+    SnapshotRecord,
+)
+
+__all__ = [
+    "ArchiveSnapshotStore",
+    "ArchiveStats",
+    "AuthBatchRecord",
+    "LogArchive",
+    "Manifest",
+    "RecoveryReport",
+    "SegmentRecord",
+    "SnapshotRecord",
+]

@@ -1,0 +1,611 @@
+"""The durable, crash-recoverable log archive.
+
+Section 4.2's accountability story only works if logs outlive the execution
+that produced them: machines keep tamper-evident logs, truncate them at
+mutually-agreed checkpoints, and hand segments to auditors on demand.
+:class:`LogArchive` is that durable home.  It persists each machine's log as
+append-only *segment files* rolled at snapshot boundaries (the same
+boundaries Section 6.12 uses for spot-check chunks), compressed with the
+VMM-specific compressor, and indexed by a manifest
+(:mod:`repro.store.manifest`) that records every segment's sequence range and
+the chain hashes at both ends.
+
+Properties the archive guarantees:
+
+* **Append-only with chain continuity.**  A segment is only accepted if it
+  extends the machine's archived head by an unbroken hash chain — the
+  archive re-verifies every entry's chain hash at ingest, so a tampered
+  shipment is rejected at the door, not discovered at audit time.
+* **Crash recovery.**  Data files are written via temp-file + rename before
+  the manifest references them, and the manifest itself is replaced
+  atomically.  Opening an archive replays the manifest, proves each
+  machine's segments tile into one unbroken chain (start/end hashes and
+  dense sequence ranges — no decompression needed), and discards orphan
+  files left by a crash between the two write steps.
+* **Indexed range lookup.**  The per-machine index is kept sorted, so the
+  segment covering a sequence number is a binary search away regardless of
+  how many segment files the machine has accumulated.
+* **Checkpoint retention (GC).**  :meth:`truncate` mirrors the paper's log
+  truncation: everything up to a mutually-agreed checkpoint is deleted, the
+  checkpoint (sequence + chain hash) is recorded as the new trust anchor,
+  and the snapshot at the boundary is retained so audits can still replay
+  the surviving suffix.
+"""
+
+from __future__ import annotations
+
+import bz2
+import json
+import re
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    ArchiveIntegrityError,
+    HashChainError,
+    LogFormatError,
+    RetentionError,
+    SnapshotError,
+    StoreError,
+)
+from repro.log.authenticator import Authenticator
+from repro.log.compression import VmmLogCompressor
+from repro.log.hashchain import ChainCheckpoint, verify_chain_incremental
+from repro.log.segments import LogSegment, concatenate_segments
+from repro.log.storage import authenticators_from_bytes, authenticators_to_bytes
+from repro.store.manifest import (
+    MANIFEST_NAME,
+    AuthBatchRecord,
+    Manifest,
+    SegmentRecord,
+    SnapshotRecord,
+    atomic_write,
+)
+from repro.vm.execution import ExecutionTimestamp
+from repro.vm.snapshot import Snapshot, paginate, serialize_state
+
+_SEGMENT_SUFFIX = ".avmlogz"
+_AUTH_SUFFIX = ".jsonl.bz2"
+_SNAPSHOT_SUFFIX = ".json"
+_AUTH_NAME_RE = re.compile(r"^auths-(\d+)\.jsonl\.bz2$")
+#: file names the archive itself writes — the orphan sweep only ever touches
+#: these, so opening an archive in the wrong directory cannot destroy
+#: unrelated data
+_OWNED_NAME_RE = re.compile(
+    r"^(segment-\d+-\d+\.avmlogz|auths-\d+\.jsonl\.bz2|snapshot-\d+\.json)$")
+
+
+@dataclass
+class RecoveryReport:
+    """What opening an archive found (and cleaned up)."""
+
+    machines: int = 0
+    segments: int = 0
+    entries: int = 0
+    chains_verified: int = 0
+    #: data files present on disk but unreferenced by the manifest — the
+    #: residue of a crash between data write and manifest update
+    orphan_files: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.orphan_files
+
+
+@dataclass
+class ArchiveStats:
+    """Aggregate archive contents (drives the ingest benchmark's table)."""
+
+    machines: int = 0
+    segment_files: int = 0
+    entries: int = 0
+    raw_bytes: int = 0
+    stored_bytes: int = 0
+    auth_batches: int = 0
+    authenticators: int = 0
+    snapshots: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Stored size over raw size (smaller is better)."""
+        if self.raw_bytes == 0:
+            return 1.0
+        return self.stored_bytes / self.raw_bytes
+
+
+class LogArchive:
+    """A durable archive of tamper-evident logs for a fleet of machines."""
+
+    def __init__(self, root: Union[str, Path], deep_verify: bool = False) -> None:
+        """Open (or create) the archive rooted at ``root``.
+
+        Opening replays the manifest: per machine, the segment records must
+        tile into one unbroken chain starting at the retention checkpoint
+        (or genesis).  ``deep_verify`` additionally decompresses every
+        segment file and re-verifies its hash chain entry by entry.
+        """
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._compressor = VmmLogCompressor()
+        self._manifest = Manifest.load(self.root)
+        self._index: Dict[str, List[SegmentRecord]] = {}
+        self._auth_index: Dict[str, List[AuthBatchRecord]] = {}
+        self._snapshot_index: Dict[str, Dict[int, SnapshotRecord]] = {}
+        self._auth_counters: Dict[str, int] = {}
+        self.recovery = self._recover(deep_verify=deep_verify)
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self, deep_verify: bool) -> RecoveryReport:
+        report = RecoveryReport()
+        for record in self._manifest.segments:
+            self._index.setdefault(record.machine, []).append(record)
+        for batch in self._manifest.auth_batches:
+            self._auth_index.setdefault(batch.machine, []).append(batch)
+            match = _AUTH_NAME_RE.match(Path(batch.file_name).name)
+            if match:
+                counter = self._auth_counters.get(batch.machine, 0)
+                self._auth_counters[batch.machine] = max(counter, int(match.group(1)))
+        for snap in self._manifest.snapshots:
+            self._snapshot_index.setdefault(snap.machine, {})[snap.snapshot_id] = snap
+
+        referenced = {record.file_name for record in self._manifest.segments}
+        referenced.update(batch.file_name for batch in self._manifest.auth_batches)
+        referenced.update(snap.file_name for snap in self._manifest.snapshots)
+        for path in sorted(self.root.rglob("*")):
+            if not path.is_file() or path.name == MANIFEST_NAME:
+                continue
+            relative = path.relative_to(self.root).as_posix()
+            if relative in referenced:
+                if not path.stat().st_size:
+                    raise ArchiveIntegrityError(
+                        f"archived file {relative} is empty on disk")
+                continue
+            if not (_OWNED_NAME_RE.match(path.name)
+                    or path.name.endswith(".tmp")):
+                continue  # not ours — never delete foreign files
+            # Orphan: written but never committed to the manifest (or a
+            # leftover .tmp from a torn atomic write).  Recovery discards it —
+            # the manifest never referenced it, so the archive behaves as if
+            # the shipment had never arrived and ingest can accept it afresh.
+            path.unlink()
+            report.orphan_files.append(relative)
+
+        for machine, records in self._index.items():
+            records.sort(key=lambda record: record.first_sequence)
+            expected = self.start_checkpoint(machine)
+            for record in records:
+                if not (self.root / record.file_name).exists():
+                    raise ArchiveIntegrityError(
+                        f"manifest references missing file {record.file_name}")
+                if record.first_sequence != expected.sequence + 1 \
+                        or record.start_hash != expected.chain_hash:
+                    raise ArchiveIntegrityError(
+                        f"archive for {machine!r} is not contiguous at "
+                        f"sequence {record.first_sequence}")
+                if record.entry_count != \
+                        record.last_sequence - record.first_sequence + 1:
+                    raise ArchiveIntegrityError(
+                        f"segment {record.file_name} advertises "
+                        f"{record.entry_count} entries for range "
+                        f"[{record.first_sequence}, {record.last_sequence}]")
+                if deep_verify:
+                    segment = self.read_segment(record)
+                    try:
+                        verify_chain_incremental(segment.entries, expected)
+                    except HashChainError as exc:
+                        raise ArchiveIntegrityError(
+                            f"segment {record.file_name} fails hash-chain "
+                            f"verification: {exc}") from exc
+                expected = record.end_checkpoint()
+                report.segments += 1
+                report.entries += record.entry_count
+            report.chains_verified += 1
+        for batch in self._manifest.auth_batches:
+            if not (self.root / batch.file_name).exists():
+                raise ArchiveIntegrityError(
+                    f"manifest references missing file {batch.file_name}")
+        for machine_snaps in self._snapshot_index.values():
+            for snap in machine_snaps.values():
+                if not (self.root / snap.file_name).exists():
+                    raise ArchiveIntegrityError(
+                        f"manifest references missing file {snap.file_name}")
+        report.machines = len(self._index)
+        return report
+
+    # -- basic queries -------------------------------------------------------
+
+    def machines(self) -> List[str]:
+        """All machines with archived data, sorted."""
+        names = set(self._index) | set(self._auth_index) | set(self._snapshot_index)
+        return sorted(names)
+
+    def segment_records(self, machine: str) -> List[SegmentRecord]:
+        """This machine's segment index, oldest first (a copy)."""
+        return list(self._index.get(machine, []))
+
+    def entry_count(self, machine: str) -> int:
+        """Number of archived (retained) log entries for ``machine``."""
+        return sum(record.entry_count for record in self._index.get(machine, []))
+
+    def start_checkpoint(self, machine: str) -> ChainCheckpoint:
+        """Chain state just before the first retained entry (GC trust anchor)."""
+        retained = self._manifest.retained.get(machine)
+        return retained if retained is not None else ChainCheckpoint.genesis()
+
+    def head_checkpoint(self, machine: str) -> ChainCheckpoint:
+        """Chain state after the last archived entry."""
+        records = self._index.get(machine)
+        if not records:
+            return self.start_checkpoint(machine)
+        return records[-1].end_checkpoint()
+
+    def retained_checkpoint(self, machine: str) -> Optional[ChainCheckpoint]:
+        """The truncation checkpoint, or ``None`` if never truncated."""
+        return self._manifest.retained.get(machine)
+
+    def stats(self) -> ArchiveStats:
+        stats = ArchiveStats(machines=len(self.machines()))
+        for records in self._index.values():
+            for record in records:
+                stats.segment_files += 1
+                stats.entries += record.entry_count
+                stats.raw_bytes += record.raw_bytes
+                stats.stored_bytes += record.stored_bytes
+        for batches in self._auth_index.values():
+            stats.auth_batches += len(batches)
+            stats.authenticators += sum(batch.count for batch in batches)
+        stats.snapshots = sum(len(snaps) for snaps in self._snapshot_index.values())
+        return stats
+
+    # -- writing -------------------------------------------------------------
+
+    def append_segment(self, segment: LogSegment,
+                       sealed_by_snapshot: Optional[int] = None) -> SegmentRecord:
+        """Archive one sealed segment; it must extend the machine's head.
+
+        The entire hash chain of the segment is re-verified against the
+        archived head checkpoint before anything touches disk, so the
+        archive only ever holds segments that tile into one unbroken chain.
+        Raises :class:`HashChainError` for a broken/forked shipment and
+        :class:`StoreError` for structural problems (empty segment, stale
+        range).
+        """
+        if not segment.entries:
+            raise StoreError("cannot archive an empty segment")
+        machine = segment.machine
+        head = self.head_checkpoint(machine)
+        if segment.first_sequence != head.sequence + 1 \
+                or segment.start_hash != head.chain_hash:
+            raise HashChainError(
+                f"segment [{segment.first_sequence}, {segment.last_sequence}] "
+                f"does not extend the archived head of {machine!r} "
+                f"(head sequence {head.sequence})")
+        end = verify_chain_incremental(segment.entries, head)
+
+        raw = segment.size_bytes()
+        data = self._compressor.compress(segment)
+        file_name = (f"{self._machine_dir(machine)}/segment-"
+                     f"{segment.first_sequence:08d}-{segment.last_sequence:08d}"
+                     f"{_SEGMENT_SUFFIX}")
+        atomic_write(self.root / file_name, data)
+        record = SegmentRecord(
+            machine=machine,
+            file_name=file_name,
+            first_sequence=segment.first_sequence,
+            last_sequence=segment.last_sequence,
+            start_hash=segment.start_hash,
+            end_hash=end.chain_hash,
+            entry_count=len(segment.entries),
+            raw_bytes=raw,
+            stored_bytes=len(data),
+            sealed_by_snapshot=sealed_by_snapshot,
+        )
+        self._manifest.segments.append(record)
+        self._index.setdefault(machine, []).append(record)
+        self._manifest.write(self.root)
+        return record
+
+    def store_authenticators(self, machine: str,
+                             authenticators: List[Authenticator]
+                             ) -> Optional[AuthBatchRecord]:
+        """Archive a batch of authenticators issued by ``machine``.
+
+        Batches are kept in shipment order; :meth:`authenticators_for`
+        replays them in the same order, so the archive reproduces a
+        collector's authenticator list exactly.  Empty batches are ignored.
+        """
+        batch = [auth for auth in authenticators if auth.machine == machine]
+        if not batch:
+            return None
+        index = self._auth_counters.get(machine, 0) + 1
+        self._auth_counters[machine] = index
+        file_name = f"{self._machine_dir(machine)}/auths-{index:06d}{_AUTH_SUFFIX}"
+        atomic_write(self.root / file_name,
+                     bz2.compress(authenticators_to_bytes(batch)))
+        record = AuthBatchRecord(
+            machine=machine,
+            file_name=file_name,
+            count=len(batch),
+            min_sequence=min(auth.sequence for auth in batch),
+            max_sequence=max(auth.sequence for auth in batch),
+        )
+        self._manifest.auth_batches.append(record)
+        self._auth_index.setdefault(machine, []).append(record)
+        self._manifest.write(self.root)
+        return record
+
+    def store_snapshot(self, machine: str, snapshot_id: int,
+                       state: Dict[str, Any], state_root: bytes,
+                       transfer_bytes: int,
+                       execution: Optional[Dict[str, int]] = None
+                       ) -> SnapshotRecord:
+        """Archive the VM state at a snapshot boundary (replay start point)."""
+        existing = self._snapshot_index.get(machine, {}).get(snapshot_id)
+        if existing is not None:
+            return existing
+        file_name = (f"{self._machine_dir(machine)}/snapshot-"
+                     f"{snapshot_id:06d}{_SNAPSHOT_SUFFIX}")
+        payload = serialize_state({
+            "machine": machine,
+            "snapshot_id": snapshot_id,
+            "state": state,
+            "state_root": state_root.hex(),
+            "transfer_bytes": transfer_bytes,
+            "execution": execution or {},
+        })
+        atomic_write(self.root / file_name, payload)
+        record = SnapshotRecord(
+            machine=machine, snapshot_id=snapshot_id, file_name=file_name,
+            state_root=state_root, transfer_bytes=transfer_bytes,
+            execution=dict(execution or {}),
+        )
+        self._manifest.snapshots.append(record)
+        self._snapshot_index.setdefault(machine, {})[snapshot_id] = record
+        self._manifest.write(self.root)
+        return record
+
+    # -- reading -------------------------------------------------------------
+
+    def read_segment(self, record: SegmentRecord) -> LogSegment:
+        """Load one archived segment and check it against its index record."""
+        path = self.root / record.file_name
+        try:
+            segment = self._compressor.decompress(path.read_bytes())
+        except (OSError, EOFError, ValueError, LogFormatError) as exc:
+            raise ArchiveIntegrityError(
+                f"cannot read archived segment {record.file_name}: {exc}") from exc
+        if segment.machine != record.machine \
+                or not segment.entries \
+                or segment.first_sequence != record.first_sequence \
+                or segment.last_sequence != record.last_sequence \
+                or segment.start_hash != record.start_hash \
+                or segment.end_hash != record.end_hash:
+            raise ArchiveIntegrityError(
+                f"archived segment {record.file_name} does not match its "
+                f"manifest record")
+        return segment
+
+    def segments_for(self, machine: str) -> List[LogSegment]:
+        """All retained segments of ``machine``, oldest first."""
+        return [self.read_segment(record)
+                for record in self._index.get(machine, [])]
+
+    def full_segment(self, machine: str) -> LogSegment:
+        """The machine's whole retained log as one contiguous segment."""
+        segments = self.segments_for(machine)
+        if not segments:
+            raise StoreError(f"no archived segments for {machine!r}")
+        return concatenate_segments(segments)
+
+    def record_covering(self, machine: str, sequence: int) -> SegmentRecord:
+        """Index lookup: the segment record containing ``sequence``.
+
+        Binary search over the sorted per-machine index — cost is independent
+        of segment *size* and logarithmic in segment *count*.
+        """
+        records = self._index.get(machine, [])
+        starts = [record.first_sequence for record in records]
+        position = bisect_right(starts, sequence) - 1
+        if position < 0 or not records[position].covers(sequence):
+            raise StoreError(
+                f"no archived entry {sequence} for {machine!r} "
+                f"(retained range starts after GC checkpoint "
+                f"{self.start_checkpoint(machine).sequence})")
+        return records[position]
+
+    def read_range(self, machine: str, first_sequence: int,
+                   last_sequence: int) -> LogSegment:
+        """Extract ``[first_sequence, last_sequence]`` from the archive."""
+        if first_sequence > last_sequence:
+            raise StoreError(
+                f"range start {first_sequence} is after end {last_sequence}")
+        records = self._index.get(machine, [])
+        first_record = self.record_covering(machine, first_sequence)
+        last_record = self.record_covering(machine, last_sequence)
+        start = records.index(first_record)
+        stop = records.index(last_record) + 1
+        chunk = concatenate_segments([self.read_segment(record)
+                                      for record in records[start:stop]])
+        entries = [entry for entry in chunk.entries
+                   if first_sequence <= entry.sequence <= last_sequence]
+        return LogSegment(machine=machine, entries=entries,
+                          start_hash=entries[0].previous_hash)
+
+    def authenticators_for(self, machine: str) -> List[Authenticator]:
+        """All retained authenticators issued by ``machine``, shipment order."""
+        result: List[Authenticator] = []
+        for batch in self._auth_index.get(machine, []):
+            try:
+                data = (self.root / batch.file_name).read_bytes()
+                result.extend(authenticators_from_bytes(bz2.decompress(data)))
+            except (OSError, EOFError, ValueError, LogFormatError) as exc:
+                raise ArchiveIntegrityError(
+                    f"corrupt authenticator batch {batch.file_name}: {exc}") from exc
+        return result
+
+    def snapshot_store(self, machine: str) -> "ArchiveSnapshotStore":
+        """A snapshot-manager view over the machine's archived snapshots."""
+        return ArchiveSnapshotStore(self, machine)
+
+    def load_snapshot(self, machine: str, snapshot_id: int) -> Snapshot:
+        """Rebuild a full :class:`~repro.vm.snapshot.Snapshot` from the archive.
+
+        The page list is reconstructed from the canonical state serialisation,
+        so Merkle-root verification works exactly as on the source machine.
+        """
+        record = self._snapshot_index.get(machine, {}).get(snapshot_id)
+        if record is None:
+            raise SnapshotError(
+                f"no archived snapshot {snapshot_id} for {machine!r}")
+        try:
+            payload = json.loads((self.root / record.file_name).read_text("utf-8"))
+            state = dict(payload["state"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise ArchiveIntegrityError(
+                f"corrupt archived snapshot {record.file_name}: {exc}") from exc
+        pages = paginate(serialize_state(state))
+        execution = ExecutionTimestamp(
+            instruction_count=int(record.execution.get("instructions", 0)),
+            branch_count=int(record.execution.get("branches", 0)))
+        return Snapshot(snapshot_id=snapshot_id, execution=execution,
+                        pages=pages, state_root=record.state_root, state=state)
+
+    def snapshot_transfer_bytes(self, machine: str, snapshot_id: int) -> int:
+        record = self._snapshot_index.get(machine, {}).get(snapshot_id)
+        if record is None:
+            raise SnapshotError(
+                f"no archived snapshot {snapshot_id} for {machine!r}")
+        return record.transfer_bytes
+
+    def initial_state_for(self, machine: str) -> Tuple[Optional[Dict[str, Any]], int]:
+        """Replay start state for the retained suffix.
+
+        ``(None, 0)`` when the archive still reaches back to the beginning of
+        the log; otherwise the state and transfer cost of the snapshot at the
+        retention boundary.
+        """
+        if self.retained_checkpoint(machine) is None:
+            return None, 0
+        snaps = self._snapshot_index.get(machine, {})
+        if not snaps:
+            raise SnapshotError(
+                f"archive of {machine!r} was truncated but retains no "
+                f"boundary snapshot")
+        boundary_id = min(snaps)
+        snapshot = self.load_snapshot(machine, boundary_id)
+        if not snapshot.verify_root():
+            raise SnapshotError(
+                f"boundary snapshot {boundary_id} of {machine!r} failed "
+                f"hash-tree verification")
+        return snapshot.state, self.snapshot_transfer_bytes(machine, boundary_id)
+
+    # -- retention / GC ------------------------------------------------------
+
+    def truncate(self, machine: str, up_to_sequence: int) -> ChainCheckpoint:
+        """Garbage-collect ``machine``'s log up to a checkpoint (Section 4.2).
+
+        Whole segments whose entries all fall at or below ``up_to_sequence``
+        are deleted — truncation lands on the greatest snapshot-sealed
+        segment boundary not beyond the requested sequence, so the surviving
+        suffix still starts at a replayable snapshot.  The boundary's
+        ``(sequence, chain hash)`` is recorded as the machine's retention
+        checkpoint: the mutually-agreed anchor future audits verify against.
+        Returns the checkpoint actually applied (the current one when no
+        eligible boundary exists).
+        """
+        current = self.start_checkpoint(machine)
+        if up_to_sequence < current.sequence:
+            raise RetentionError(
+                f"cannot truncate {machine!r} to {up_to_sequence}: already "
+                f"truncated to {current.sequence}")
+        records = self._index.get(machine, [])
+        archived_snaps = self._snapshot_index.get(machine, {})
+        boundary: Optional[SegmentRecord] = None
+        for record in records:
+            # Eligible boundaries are snapshot-sealed *and* have the boundary
+            # snapshot in the archive — otherwise the surviving suffix would
+            # have no replay start (e.g. the snapshot shipment was dropped).
+            if record.last_sequence <= up_to_sequence \
+                    and record.sealed_by_snapshot is not None \
+                    and record.sealed_by_snapshot in archived_snaps:
+                boundary = record
+        if boundary is None:
+            return current
+
+        checkpoint = boundary.end_checkpoint()
+        dropped = [record for record in records
+                   if record.last_sequence <= boundary.last_sequence]
+        kept = [record for record in records
+                if record.last_sequence > boundary.last_sequence]
+        dropped_auths = [batch for batch in self._auth_index.get(machine, [])
+                         if batch.max_sequence <= boundary.last_sequence]
+        kept_auths = [batch for batch in self._auth_index.get(machine, [])
+                      if batch.max_sequence > boundary.last_sequence]
+        snaps = self._snapshot_index.get(machine, {})
+        dropped_snaps = [snap for snap_id, snap in snaps.items()
+                         if snap_id < boundary.sealed_by_snapshot]
+        kept_snaps = {snap_id: snap for snap_id, snap in snaps.items()
+                      if snap_id >= boundary.sealed_by_snapshot}
+
+        self._index[machine] = kept
+        self._auth_index[machine] = kept_auths
+        self._snapshot_index[machine] = kept_snaps
+        self._manifest.segments = [record for record in self._manifest.segments
+                                   if record.machine != machine
+                                   or record in kept]
+        self._manifest.auth_batches = [batch for batch in self._manifest.auth_batches
+                                       if batch.machine != machine
+                                       or batch in kept_auths]
+        self._manifest.snapshots = [snap for snap in self._manifest.snapshots
+                                    if snap.machine != machine
+                                    or snap.snapshot_id in kept_snaps]
+        self._manifest.retained[machine] = checkpoint
+        # Commit the manifest first: a crash after this point leaves orphan
+        # data files, which the next open discards.
+        self._manifest.write(self.root)
+        for record in dropped:
+            (self.root / record.file_name).unlink(missing_ok=True)
+        for batch in dropped_auths:
+            (self.root / batch.file_name).unlink(missing_ok=True)
+        for snap in dropped_snaps:
+            (self.root / snap.file_name).unlink(missing_ok=True)
+        return checkpoint
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _machine_dir(machine: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9._-]", "_", machine)
+        return safe or "machine"
+
+
+class ArchiveSnapshotStore:
+    """Duck-typed stand-in for :class:`~repro.vm.snapshot.SnapshotManager`.
+
+    The audit engine's boundary-snapshot fetch
+    (:func:`repro.audit.engine.fetch_verified_snapshot`) only calls
+    :meth:`get` and :meth:`transfer_cost_bytes`; this adapter serves both
+    from the archive, reporting the transfer cost the *source machine*
+    recorded so archive-backed audit costs equal in-memory ones.
+    """
+
+    def __init__(self, archive: LogArchive, machine: str) -> None:
+        self._archive = archive
+        self._machine = machine
+
+    @property
+    def count(self) -> int:
+        return len(self._archive._snapshot_index.get(self._machine, {}))
+
+    def snapshot_ids(self) -> List[int]:
+        return sorted(self._archive._snapshot_index.get(self._machine, {}))
+
+    def get(self, snapshot_id: int) -> Snapshot:
+        return self._archive.load_snapshot(self._machine, snapshot_id)
+
+    def transfer_cost_bytes(self, snapshot_id: int,
+                            include_memory_dump: bool = True) -> int:
+        return self._archive.snapshot_transfer_bytes(self._machine, snapshot_id)

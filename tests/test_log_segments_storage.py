@@ -10,6 +10,7 @@ from repro.log.segments import concatenate_segments, make_chunks
 from repro.log.storage import (
     authenticators_from_bytes,
     authenticators_to_bytes,
+    iter_segment_entries,
     read_segment,
     segment_from_bytes,
     segment_to_bytes,
@@ -119,6 +120,81 @@ class TestStorage:
     def test_authenticator_rejects_wrong_kind(self):
         with pytest.raises(LogFormatError):
             authenticators_from_bytes(b'{"kind": "log_segment"}\n')
+
+    def test_segment_rejects_wrong_format_version(self):
+        segment = build_log_with_snapshots(segments=1).full_segment()
+        data = segment_to_bytes(segment).replace(
+            b'"format_version": 1', b'"format_version": 99', 1)
+        with pytest.raises(LogFormatError, match="format version"):
+            segment_from_bytes(data)
+
+    def test_authenticators_reject_wrong_format_version(self, ca):
+        alice = ca.issue("alice")
+        log = TamperEvidentLog("alice", keypair=alice)
+        log.append(EntryType.NONDET, nondet_content("x", 1))
+        data = authenticators_to_bytes([log.authenticator_for(log.entry_at(1))])
+        data = data.replace(b'"format_version": 1', b'"format_version": 99', 1)
+        with pytest.raises(LogFormatError, match="format version"):
+            authenticators_from_bytes(data)
+
+
+class TestStreamingReader:
+    def test_streams_entries_lazily(self, tmp_path):
+        segment = build_log_with_snapshots().full_segment()
+        path = tmp_path / "segment.log"
+        write_segment(segment, path)
+        iterator = iter_segment_entries(path)
+        first = next(iterator)
+        assert first == segment.entries[0]
+        assert [first, *iterator] == segment.entries
+
+    def test_accepts_open_file_object(self, tmp_path):
+        segment = build_log_with_snapshots(segments=1).full_segment()
+        path = tmp_path / "segment.log"
+        write_segment(segment, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert list(iter_segment_entries(handle)) == segment.entries
+
+    def test_rejects_bad_header_before_first_entry(self, tmp_path):
+        path = tmp_path / "segment.log"
+        path.write_bytes(b'{"kind": "something-else"}\n')
+        with pytest.raises(LogFormatError):
+            next(iter_segment_entries(path))
+
+    def test_rejects_wrong_format_version(self, tmp_path):
+        segment = build_log_with_snapshots(segments=1).full_segment()
+        path = tmp_path / "segment.log"
+        data = segment_to_bytes(segment).replace(
+            b'"format_version": 1', b'"format_version": 99', 1)
+        path.write_bytes(data)
+        with pytest.raises(LogFormatError, match="format version"):
+            next(iter_segment_entries(path))
+
+    def test_detects_truncated_file(self, tmp_path):
+        segment = build_log_with_snapshots(segments=1).full_segment()
+        path = tmp_path / "segment.log"
+        data = segment_to_bytes(segment)
+        path.write_bytes(b"\n".join(data.splitlines()[:-2]) + b"\n")
+        with pytest.raises(LogFormatError, match="entry count mismatch"):
+            list(iter_segment_entries(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "segment.log"
+        path.write_bytes(b"")
+        with pytest.raises(LogFormatError, match="empty"):
+            next(iter_segment_entries(path))
+
+
+class TestLogPicklability:
+    def test_default_clock_log_pickles(self):
+        # The default clock used to be a lambda, which broke pickling under
+        # the process-pool audit path.
+        import pickle
+        log = build_log_with_snapshots(segments=1)
+        restored = pickle.loads(pickle.dumps(log))
+        assert restored.entries == log.entries
+        assert restored.head_hash == log.head_hash
+        restored.append(EntryType.NONDET, nondet_content("x", 1))
 
 
 class TestCompression:
