@@ -94,8 +94,10 @@ class AccountableVMM:
         self.vm.set_clock_read_hook(self._on_clock_read)
 
         log_keypair = keypair if config.signs_packets else None
+        # A bound method, not a lambda: the log must survive pickling on the
+        # process-pool audit path (PR 2's picklable-clock guarantee).
         self.log = TamperEvidentLog(identity, keypair=log_keypair,
-                                    clock=lambda: scheduler.clock.now)
+                                    clock=scheduler.clock.read)
         self.recorder = ExecutionRecorder(self.log, enabled=config.record_replay_info)
         self.snapshots = SnapshotManager()
         self.clock_optimizer = ClockReadOptimizer(enabled=config.clock_read_optimization)
@@ -126,6 +128,12 @@ class AccountableVMM:
         self._archive_ship_authenticators = True
         self._shipped_through = 0
         self._shipped_auth_counts: Dict[str, int] = {}
+        #: snapshot ids whose shipment was dropped and must be re-sent in
+        #: order — the archive's delta chain tolerates no holes
+        self._pending_snapshot_ships: List[int] = []
+        #: False until the archive holds a snapshot to base deltas on; the
+        #: first shipment after (re)attaching is forced to be a keyframe
+        self._snapshot_ship_anchored = False
 
     # ------------------------------------------------------------------ lifecycle
 
@@ -373,9 +381,21 @@ class AccountableVMM:
     # ------------------------------------------------------------------ snapshots
 
     def take_snapshot(self) -> int:
-        """Take an incremental snapshot now; returns the snapshot id."""
-        snapshot = self.snapshots.take(self.vm.get_full_state(),
-                                       self.vm.execution_timestamp)
+        """Take a copy-on-write snapshot now; returns the snapshot id.
+
+        The VM reports what changed since the previous snapshot
+        (:meth:`~repro.vm.machine.VirtualMachine.get_dirty_state`), so
+        serialisation, page diffing and the hash-tree update all cost
+        O(dirty), not O(state) — and the performance-model charge scales
+        with the dirty bytes accordingly (Section 4.4).
+        """
+        view = self.vm.get_dirty_state()
+        snapshot = self.snapshots.take(view.state, self.vm.execution_timestamp,
+                                       dirty_paths=view.dirty_paths)
+        self.vm.mark_snapshot_taken()
+        delta = self.snapshots.get_incremental(snapshot.snapshot_id)
+        self.stats.vmm_cpu_seconds += self.perf.vmm_cpu_for_snapshot(
+            delta.incremental_bytes, delta.page_count)
         self.recorder.record_snapshot(snapshot.snapshot_id, snapshot.state_root,
                                       snapshot.execution)
         self._ship_sealed_segment(snapshot.snapshot_id)
@@ -400,6 +420,10 @@ class AccountableVMM:
         """
         self._archive_destination = destination
         self._archive_ship_authenticators = ship_authenticators
+        # A (re)attached archive holds none of our snapshots yet: the next
+        # snapshot shipped must carry full state, or its delta would
+        # reference a base the archive never saw (attach-mid-run case).
+        self._snapshot_ship_anchored = False
 
     @property
     def shipped_through(self) -> int:
@@ -418,6 +442,8 @@ class AccountableVMM:
             return True
         if self._shipped_through < len(self.log):
             return False
+        if self._pending_snapshot_ships:
+            return False
         if self._archive_ship_authenticators:
             for peer, collected in self.received_authenticators.items():
                 if self._shipped_auth_counts.get(peer, 0) < len(collected):
@@ -428,11 +454,17 @@ class AccountableVMM:
         """Ship the unsealed tail of the log (entries after the last seal).
 
         Called at the end of a run so the archive holds the *whole* log, not
-        just the snapshot-sealed prefix.  Returns ``True`` if anything was
-        shipped (pending peer authenticators count too).
+        just the snapshot-sealed prefix.  Also retries snapshot shipments a
+        lossy link dropped earlier.  Returns ``True`` if anything was
+        shipped (pending peer authenticators and snapshots count too).
         """
+        pending_before = len(self._pending_snapshot_ships)
+        self._flush_snapshot_ships()
+        # Progress = queue got shorter, even if a later drop kept it nonempty
+        # (a lossy link may need one round per queued snapshot).
+        flushed = len(self._pending_snapshot_ships) < pending_before
         shipped = self._ship_sealed_segment(None)
-        return self._ship_peer_authenticators() > 0 or shipped
+        return self._ship_peer_authenticators() > 0 or shipped or flushed
 
     def _ship_sealed_segment(self, snapshot_id: Optional[int]) -> bool:
         if self._archive_destination is None or self.network is None \
@@ -442,20 +474,8 @@ class AccountableVMM:
         if last <= self._shipped_through:
             return False
         segment = self.log.segment(self._shipped_through + 1, last)
-        snapshot_delivered = False
-        if snapshot_id is not None:
-            snapshot = self.snapshots.get(snapshot_id)
-            snapshot_delivered = self.network.send(NetworkMessage(
-                source=self.identity, destination=self._archive_destination,
-                payload=json.dumps({
-                    "snapshot_id": snapshot.snapshot_id,
-                    "state": snapshot.state,
-                    "state_root": snapshot.state_root.hex(),
-                    "transfer_bytes": self.snapshots.transfer_cost_bytes(
-                        snapshot.snapshot_id),
-                    "execution": snapshot.execution.to_dict(),
-                }, sort_keys=True).encode("utf-8"),
-                kind=MessageKind.ARCHIVE_SNAPSHOT))
+        flushed = self._flush_snapshot_ships(snapshot_id)
+        snapshot_delivered = flushed and snapshot_id is not None
         # Only advertise the seal if the snapshot actually went out: a
         # segment without its boundary snapshot must not become a GC/chunk
         # boundary on the archive side.
@@ -472,6 +492,35 @@ class AccountableVMM:
         self._shipped_through = last
         if self._archive_ship_authenticators:
             self._ship_peer_authenticators()
+        return True
+
+    def _flush_snapshot_ships(self, new_snapshot_id: Optional[int] = None) -> bool:
+        """Ship queued (and the new) snapshot payloads, in order.
+
+        Keyframes ship their full state; everything in between ships only
+        its changed pages (Section 4.4: *to save space, snapshots are
+        incremental*) and the archive re-materialises on demand.  Because a
+        delta is useless without its base, a dropped shipment queues the id
+        and every later snapshot waits behind it — the archive's chain
+        never acquires holes, it only lags.  Returns ``True`` when the
+        queue fully drained.
+        """
+        if new_snapshot_id is not None:
+            self._pending_snapshot_ships.append(new_snapshot_id)
+        if self._archive_destination is None or self.network is None:
+            return False
+        while self._pending_snapshot_ships:
+            snapshot_id = self._pending_snapshot_ships[0]
+            payload = self.snapshots.ship_payload(
+                snapshot_id, force_keyframe=not self._snapshot_ship_anchored)
+            accepted = self.network.send(NetworkMessage(
+                source=self.identity, destination=self._archive_destination,
+                payload=json.dumps(payload, sort_keys=True).encode("utf-8"),
+                kind=MessageKind.ARCHIVE_SNAPSHOT))
+            if not accepted:
+                return False
+            self._snapshot_ship_anchored = True
+            self._pending_snapshot_ships.pop(0)
         return True
 
     def _ship_peer_authenticators(self) -> int:

@@ -31,7 +31,7 @@ from repro.vm.execution import ExecutionTimestamp
 from repro.vm.guest import PacketOutput
 from repro.vm.image import VMImage
 from repro.vm.machine import NondeterminismSource, VirtualMachine
-from repro.vm.snapshot import MerkleTree, paginate, serialize_state
+from repro.vm.snapshot import IncrementalStateHasher
 
 
 @dataclass(frozen=True)
@@ -170,6 +170,11 @@ class DeterministicReplayer:
 
         vm = VirtualMachine(self.reference_image, nondet_source=clock_source)
         output_cursor = 0
+        # Replay-side hash-tree maintenance mirrors the recording side: the
+        # tree over the replayed state is *updated* at each SNAPSHOT entry
+        # (O(dirty x log n)), not rebuilt from scratch, so long replays with
+        # many snapshot checks stay proportional to what the guest changed.
+        state_hasher = IncrementalStateHasher()
 
         if initial_state is not None:
             # Deep-copy so replay cannot mutate the caller's snapshot (guests
@@ -189,7 +194,7 @@ class DeterministicReplayer:
 
         for item in schedule:
             if isinstance(item, _SnapshotItem):
-                divergence = self._check_snapshot(vm, item)
+                divergence = self._check_snapshot(vm, item, state_hasher)
                 if divergence is not None:
                     report.divergence = divergence
                     return report
@@ -335,9 +340,12 @@ class DeterministicReplayer:
         return None
 
     @staticmethod
-    def _check_snapshot(vm: VirtualMachine, item: _SnapshotItem) -> Optional[Divergence]:
-        state = vm.get_full_state()
-        root = MerkleTree(paginate(serialize_state(state))).root.hex()
+    def _check_snapshot(vm: VirtualMachine, item: _SnapshotItem,
+                        state_hasher: IncrementalStateHasher) -> Optional[Divergence]:
+        view = vm.get_dirty_state()
+        _, _, root_bytes = state_hasher.update(view.state, view.dirty_paths)
+        vm.mark_snapshot_taken()
+        root = root_bytes.hex()
         if root != item.state_root:
             return Divergence(
                 reason="snapshot hash does not match the replayed state",

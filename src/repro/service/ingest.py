@@ -33,7 +33,7 @@ from typing import Callable, Dict, List, Optional
 from repro.audit.auditor import Auditor
 from repro.audit.engine import AuditAssignment, AuditScheduler
 from repro.audit.verdict import AuditResult
-from repro.errors import HashChainError, LogFormatError, StoreError
+from repro.errors import HashChainError, LogFormatError, SnapshotError, StoreError
 from repro.log.compression import VmmLogCompressor
 from repro.log.segments import LogSegment
 from repro.log.storage import authenticators_from_bytes
@@ -135,15 +135,36 @@ class AuditIngestService:
     def _on_snapshot(self, message: NetworkMessage) -> None:
         try:
             payload = json.loads(message.payload.decode("utf-8"))
-            self.ingest_snapshot(
-                machine=message.source,
-                snapshot_id=int(payload["snapshot_id"]),
-                state=dict(payload["state"]),
-                state_root=bytes.fromhex(payload["state_root"]),
-                transfer_bytes=int(payload["transfer_bytes"]),
-                execution=dict(payload.get("execution", {})),
-            )
-        except (ValueError, KeyError, TypeError) as exc:
+            kind = str(payload.get("kind", "keyframe"))
+            if kind == "delta":
+                self.ingest_snapshot_delta(
+                    machine=message.source,
+                    snapshot_id=int(payload["snapshot_id"]),
+                    base_snapshot_id=int(payload["base_snapshot_id"]),
+                    changed_pages={
+                        int(index): bytes.fromhex(page)
+                        for index, page in dict(payload["changed_pages"]).items()},
+                    page_count=int(payload["page_count"]),
+                    state_root=bytes.fromhex(payload["state_root"]),
+                    transfer_bytes=int(payload["transfer_bytes"]),
+                    execution=dict(payload.get("execution", {})),
+                    page_size=int(payload.get("page_size", 0)) or None,
+                )
+            else:
+                self.ingest_snapshot(
+                    machine=message.source,
+                    snapshot_id=int(payload["snapshot_id"]),
+                    state=dict(payload["state"]),
+                    state_root=bytes.fromhex(payload["state_root"]),
+                    transfer_bytes=int(payload["transfer_bytes"]),
+                    execution=dict(payload.get("execution", {})),
+                    page_size=int(payload.get("page_size", 0)) or None,
+                    page_count=int(payload.get("page_count", 0)) or None,
+                )
+        except (ValueError, KeyError, TypeError, SnapshotError, StoreError) as exc:
+            # SnapshotError covers a delta whose base never arrived (e.g. a
+            # lossy link dropped it): unusable, so quarantined — the source
+            # re-ships the chain in order and the archive stays hole-free.
             self.quarantine.append(QuarantinedShipment(
                 machine=message.source,
                 reason=f"undecodable snapshot: {exc}"))
@@ -180,10 +201,29 @@ class AuditIngestService:
 
     def ingest_snapshot(self, machine: str, snapshot_id: int, state: dict,
                         state_root: bytes, transfer_bytes: int,
-                        execution: Optional[dict] = None) -> None:
-        """Archive the VM state at a seal boundary."""
+                        execution: Optional[dict] = None,
+                        page_size: Optional[int] = None,
+                        page_count: Optional[int] = None) -> None:
+        """Archive the full VM state (a keyframe) at a seal boundary."""
+        kwargs = {"page_size": page_size} if page_size else {}
         self.archive.store_snapshot(machine, snapshot_id, state, state_root,
-                                    transfer_bytes, execution=execution)
+                                    transfer_bytes, execution=execution,
+                                    page_count=page_count, **kwargs)
+        self.stats.snapshots_ingested += 1
+
+    def ingest_snapshot_delta(self, machine: str, snapshot_id: int,
+                              base_snapshot_id: int,
+                              changed_pages: Dict[int, bytes],
+                              page_count: int, state_root: bytes,
+                              transfer_bytes: int,
+                              execution: Optional[dict] = None,
+                              page_size: Optional[int] = None) -> None:
+        """Archive an incremental snapshot (changed pages over its base)."""
+        kwargs = {"page_size": page_size} if page_size else {}
+        self.archive.store_snapshot_delta(
+            machine, snapshot_id, base_snapshot_id, changed_pages,
+            page_count, state_root, transfer_bytes, execution=execution,
+            **kwargs)
         self.stats.snapshots_ingested += 1
 
     # -- the audit queue -----------------------------------------------------

@@ -31,6 +31,16 @@ class SimClock:
         """Current simulated time in seconds."""
         return self._now
 
+    def read(self) -> float:
+        """:attr:`now` as a bound callable.
+
+        Handy where a clock *function* is required (e.g. the tamper-evident
+        log's timestamp source): a bound method of a plain-float object stays
+        picklable under the process-pool audit path, unlike an inline
+        ``lambda: clock.now``.
+        """
+        return self._now
+
     def advance_to(self, timestamp: float) -> None:
         """Move the clock forward to ``timestamp``.
 

@@ -64,7 +64,14 @@ from repro.store.manifest import (
     atomic_write,
 )
 from repro.vm.execution import ExecutionTimestamp
-from repro.vm.snapshot import Snapshot, paginate, serialize_state
+from repro.vm.snapshot import (
+    PAGE_SIZE,
+    IncrementalSnapshot,
+    Snapshot,
+    apply_delta,
+    paginate,
+    serialize_state,
+)
 
 _SEGMENT_SUFFIX = ".avmlogz"
 _AUTH_SUFFIX = ".jsonl.bz2"
@@ -74,7 +81,7 @@ _AUTH_NAME_RE = re.compile(r"^auths-(\d+)\.jsonl\.bz2$")
 #: these, so opening an archive in the wrong directory cannot destroy
 #: unrelated data
 _OWNED_NAME_RE = re.compile(
-    r"^(segment-\d+-\d+\.avmlogz|auths-\d+\.jsonl\.bz2|snapshot-\d+\.json)$")
+    r"^(segment-\d+-\d+\.avmlogz|auths-\d+\.jsonl\.bz2|snapshot-\d+(-kf)?\.json)$")
 
 
 @dataclass
@@ -340,17 +347,25 @@ class LogArchive:
     def store_snapshot(self, machine: str, snapshot_id: int,
                        state: Dict[str, Any], state_root: bytes,
                        transfer_bytes: int,
-                       execution: Optional[Dict[str, int]] = None
-                       ) -> SnapshotRecord:
-        """Archive the VM state at a snapshot boundary (replay start point)."""
+                       execution: Optional[Dict[str, int]] = None,
+                       page_size: int = PAGE_SIZE,
+                       page_count: Optional[int] = None) -> SnapshotRecord:
+        """Archive a full (keyframe) snapshot: a replay start point.
+
+        ``page_count`` is the source manager's page geometry; when omitted
+        (legacy callers) it is recomputed from the canonical serialisation.
+        """
         existing = self._snapshot_index.get(machine, {}).get(snapshot_id)
         if existing is not None:
             return existing
         file_name = (f"{self._machine_dir(machine)}/snapshot-"
                      f"{snapshot_id:06d}{_SNAPSHOT_SUFFIX}")
+        if page_count is None:
+            page_count = len(paginate(serialize_state(state), page_size))
         payload = serialize_state({
             "machine": machine,
             "snapshot_id": snapshot_id,
+            "kind": "keyframe",
             "state": state,
             "state_root": state_root.hex(),
             "transfer_bytes": transfer_bytes,
@@ -361,6 +376,59 @@ class LogArchive:
             machine=machine, snapshot_id=snapshot_id, file_name=file_name,
             state_root=state_root, transfer_bytes=transfer_bytes,
             execution=dict(execution or {}),
+            kind="keyframe", base_snapshot_id=None,
+            page_count=page_count, page_size=page_size,
+        )
+        self._manifest.snapshots.append(record)
+        self._snapshot_index.setdefault(machine, {})[snapshot_id] = record
+        self._manifest.write(self.root)
+        return record
+
+    def store_snapshot_delta(self, machine: str, snapshot_id: int,
+                             base_snapshot_id: int,
+                             changed_pages: Dict[int, bytes],
+                             page_count: int, state_root: bytes,
+                             transfer_bytes: int,
+                             execution: Optional[Dict[str, int]] = None,
+                             page_size: int = PAGE_SIZE) -> SnapshotRecord:
+        """Archive an incremental snapshot: changed pages over its base.
+
+        Section 4.4's space saving, end to end: between keyframes the
+        archive stores only what changed; :meth:`load_snapshot` replays the
+        chain (verifying page count and Merkle root at every step) when an
+        audit actually needs the full state.  The base snapshot must already
+        be archived — a delta whose base is missing could never be
+        materialised, so it is rejected (:class:`SnapshotError`) for the
+        ingest layer to quarantine.
+        """
+        existing = self._snapshot_index.get(machine, {}).get(snapshot_id)
+        if existing is not None:
+            return existing
+        if base_snapshot_id not in self._snapshot_index.get(machine, {}):
+            raise SnapshotError(
+                f"delta snapshot {snapshot_id} of {machine!r} references "
+                f"base {base_snapshot_id}, which is not archived")
+        file_name = (f"{self._machine_dir(machine)}/snapshot-"
+                     f"{snapshot_id:06d}{_SNAPSHOT_SUFFIX}")
+        payload = serialize_state({
+            "machine": machine,
+            "snapshot_id": snapshot_id,
+            "kind": "delta",
+            "base_snapshot_id": base_snapshot_id,
+            "changed_pages": {str(index): page.hex()
+                              for index, page in sorted(changed_pages.items())},
+            "page_count": page_count,
+            "state_root": state_root.hex(),
+            "transfer_bytes": transfer_bytes,
+            "execution": execution or {},
+        })
+        atomic_write(self.root / file_name, payload)
+        record = SnapshotRecord(
+            machine=machine, snapshot_id=snapshot_id, file_name=file_name,
+            state_root=state_root, transfer_bytes=transfer_bytes,
+            execution=dict(execution or {}),
+            kind="delta", base_snapshot_id=base_snapshot_id,
+            page_count=page_count, page_size=page_size,
         )
         self._manifest.snapshots.append(record)
         self._snapshot_index.setdefault(machine, {})[snapshot_id] = record
@@ -453,25 +521,73 @@ class LogArchive:
     def load_snapshot(self, machine: str, snapshot_id: int) -> Snapshot:
         """Rebuild a full :class:`~repro.vm.snapshot.Snapshot` from the archive.
 
-        The page list is reconstructed from the canonical state serialisation,
-        so Merkle-root verification works exactly as on the source machine.
+        A keyframe is re-paginated from its canonical state serialisation; a
+        delta is materialised by walking back to the nearest archived
+        keyframe and replaying the changed-page chain forward, verifying
+        page count and Merkle root at every step — so Merkle-root
+        verification works exactly as on the source machine and a corrupt
+        chain surfaces as :class:`SnapshotError`, never as a silently-wrong
+        state.
         """
         record = self._snapshot_index.get(machine, {}).get(snapshot_id)
         if record is None:
             raise SnapshotError(
                 f"no archived snapshot {snapshot_id} for {machine!r}")
+        chain: List[SnapshotRecord] = []
+        base = record
+        while base.kind == "delta":
+            chain.append(base)
+            if base.base_snapshot_id is None:
+                raise ArchiveIntegrityError(
+                    f"delta snapshot {base.snapshot_id} of {machine!r} "
+                    f"has no base id")
+            parent = self._snapshot_index.get(machine, {}).get(base.base_snapshot_id)
+            if parent is None:
+                raise ArchiveIntegrityError(
+                    f"delta snapshot {base.snapshot_id} of {machine!r} "
+                    f"references missing base {base.base_snapshot_id}")
+            base = parent
         try:
-            payload = json.loads((self.root / record.file_name).read_text("utf-8"))
+            payload = json.loads((self.root / base.file_name).read_text("utf-8"))
             state = dict(payload["state"])
         except (OSError, ValueError, KeyError, TypeError) as exc:
             raise ArchiveIntegrityError(
-                f"corrupt archived snapshot {record.file_name}: {exc}") from exc
-        pages = paginate(serialize_state(state))
+                f"corrupt archived snapshot {base.file_name}: {exc}") from exc
+        page_size = base.page_size or PAGE_SIZE
+        pages = paginate(serialize_state(state), page_size)
+        for delta_record in reversed(chain):
+            pages = apply_delta(pages, self._read_delta(delta_record))
         execution = ExecutionTimestamp(
             instruction_count=int(record.execution.get("instructions", 0)),
             branch_count=int(record.execution.get("branches", 0)))
         return Snapshot(snapshot_id=snapshot_id, execution=execution,
-                        pages=pages, state_root=record.state_root, state=state)
+                        pages=pages, state_root=record.state_root,
+                        state=state if not chain else None)
+
+    def _read_delta(self, record: SnapshotRecord) -> IncrementalSnapshot:
+        """Load one delta-snapshot file back into its in-memory form."""
+        try:
+            payload = json.loads((self.root / record.file_name).read_text("utf-8"))
+            if payload.get("kind") != "delta":
+                raise ValueError(f"expected a delta, found {payload.get('kind')!r}")
+            changed = {int(index): bytes.fromhex(page)
+                       for index, page in dict(payload["changed_pages"]).items()}
+            page_count = int(payload["page_count"])
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise ArchiveIntegrityError(
+                f"corrupt archived snapshot delta {record.file_name}: "
+                f"{exc}") from exc
+        return IncrementalSnapshot(
+            snapshot_id=record.snapshot_id,
+            execution=ExecutionTimestamp(
+                instruction_count=int(record.execution.get("instructions", 0)),
+                branch_count=int(record.execution.get("branches", 0))),
+            base_snapshot_id=record.base_snapshot_id,
+            changed_pages=changed,
+            page_count=page_count,
+            state_root=record.state_root,
+            page_size=record.page_size or PAGE_SIZE,
+        )
 
     def snapshot_transfer_bytes(self, machine: str, snapshot_id: int) -> int:
         record = self._snapshot_index.get(machine, {}).get(snapshot_id)
@@ -536,6 +652,11 @@ class LogArchive:
             return current
 
         checkpoint = boundary.end_checkpoint()
+        # The surviving suffix must still start at a *materialisable*
+        # snapshot once its delta chain's ancestors are gone: a delta
+        # boundary is rewritten as a keyframe first.
+        stale_boundary_file = self._ensure_boundary_keyframe(
+            machine, boundary.sealed_by_snapshot)
         dropped = [record for record in records
                    if record.last_sequence <= boundary.last_sequence]
         kept = [record for record in records
@@ -572,7 +693,50 @@ class LogArchive:
             (self.root / batch.file_name).unlink(missing_ok=True)
         for snap in dropped_snaps:
             (self.root / snap.file_name).unlink(missing_ok=True)
+        if stale_boundary_file is not None:
+            (self.root / stale_boundary_file).unlink(missing_ok=True)
         return checkpoint
+
+    def _ensure_boundary_keyframe(self, machine: str,
+                                  snapshot_id: int) -> Optional[str]:
+        """Materialise a delta snapshot into a keyframe (for GC boundaries).
+
+        Writes the keyframe to a *new* file and swaps the in-memory record;
+        the manifest is committed by the caller, so a crash at any point
+        leaves either the old delta (new file is an orphan) or the new
+        keyframe (old file is an orphan) — never a half state.  Returns the
+        old file name to delete after the manifest commit, or ``None`` if
+        the snapshot already was a keyframe.
+        """
+        record = self._snapshot_index.get(machine, {}).get(snapshot_id)
+        if record is None or record.kind == "keyframe":
+            return None
+        snapshot = self.load_snapshot(machine, snapshot_id)  # verifies chain
+        file_name = (f"{self._machine_dir(machine)}/snapshot-"
+                     f"{snapshot_id:06d}-kf{_SNAPSHOT_SUFFIX}")
+        atomic_write(self.root / file_name, serialize_state({
+            "machine": machine,
+            "snapshot_id": snapshot_id,
+            "kind": "keyframe",
+            "state": snapshot.state,
+            "state_root": record.state_root.hex(),
+            "transfer_bytes": record.transfer_bytes,
+            "execution": record.execution,
+        }))
+        new_record = SnapshotRecord(
+            machine=machine, snapshot_id=snapshot_id, file_name=file_name,
+            state_root=record.state_root, transfer_bytes=record.transfer_bytes,
+            execution=dict(record.execution),
+            kind="keyframe", base_snapshot_id=None,
+            page_count=len(snapshot.pages),
+            page_size=record.page_size or PAGE_SIZE,
+        )
+        self._snapshot_index[machine][snapshot_id] = new_record
+        self._manifest.snapshots = [
+            new_record if (snap.machine == machine
+                           and snap.snapshot_id == snapshot_id) else snap
+            for snap in self._manifest.snapshots]
+        return record.file_name
 
     # -- helpers -------------------------------------------------------------
 

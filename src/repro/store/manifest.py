@@ -127,7 +127,13 @@ class AuthBatchRecord:
 
 @dataclass(frozen=True)
 class SnapshotRecord:
-    """Index entry for one archived snapshot (replay start for a chunk)."""
+    """Index entry for one archived snapshot (replay start for a chunk).
+
+    Snapshots are archived the way Section 4.4 ships them: periodic
+    *keyframes* carry the full serialised state, everything in between is a
+    *delta* — the pages changed since ``base_snapshot_id`` — and the archive
+    re-materialises full state on demand by replaying the chain.
+    """
 
     machine: str
     snapshot_id: int
@@ -138,6 +144,13 @@ class SnapshotRecord:
     #: audits charge exactly what in-memory audits charge
     transfer_bytes: int
     execution: Dict[str, int] = field(default_factory=dict)
+    #: "keyframe" (full state) or "delta" (changed pages over the base)
+    kind: str = "keyframe"
+    #: the snapshot a delta applies on top of (``None`` for keyframes)
+    base_snapshot_id: Optional[int] = None
+    #: page geometry of the source manager (0 = unknown, legacy record)
+    page_count: int = 0
+    page_size: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -147,11 +160,19 @@ class SnapshotRecord:
             "state_root": self.state_root.hex(),
             "transfer_bytes": self.transfer_bytes,
             "execution": self.execution,
+            "kind": self.kind,
+            "base_snapshot_id": self.base_snapshot_id,
+            "page_count": self.page_count,
+            "page_size": self.page_size,
         }
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "SnapshotRecord":
         try:
+            kind = str(data.get("kind", "keyframe"))
+            if kind not in ("keyframe", "delta"):
+                raise ValueError(f"unknown snapshot kind {kind!r}")
+            base = data.get("base_snapshot_id")
             return SnapshotRecord(
                 machine=str(data["machine"]),
                 snapshot_id=int(data["snapshot_id"]),
@@ -159,6 +180,10 @@ class SnapshotRecord:
                 state_root=bytes.fromhex(data["state_root"]),
                 transfer_bytes=int(data["transfer_bytes"]),
                 execution=dict(data.get("execution", {})),
+                kind=kind,
+                base_snapshot_id=int(base) if base is not None else None,
+                page_count=int(data.get("page_count", 0)),
+                page_size=int(data.get("page_size", 0)),
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise ArchiveIntegrityError(f"malformed snapshot record: {exc}") from exc

@@ -24,7 +24,18 @@ from repro.vm.execution import ExecutionTimestamp
 from repro.vm.guest import GuestProgram, MachineApi, Output, PacketOutput, FrameOutput
 from repro.vm.image import VMImage
 from repro.vm.machine import LiveNondeterminismSource, NondeterminismSource, VirtualMachine
-from repro.vm.snapshot import IncrementalSnapshot, Snapshot, SnapshotManager
+from repro.vm.snapshot import (
+    IncrementalSnapshot,
+    IncrementalStateHasher,
+    Snapshot,
+    SnapshotManager,
+    apply_delta,
+)
+from repro.vm.state_store import (
+    CachedStateSerializer,
+    DirtyStateView,
+    DirtyTrackingStore,
+)
 
 __all__ = [
     "GuestEvent",
@@ -44,5 +55,10 @@ __all__ = [
     "LiveNondeterminismSource",
     "Snapshot",
     "IncrementalSnapshot",
+    "IncrementalStateHasher",
     "SnapshotManager",
+    "apply_delta",
+    "CachedStateSerializer",
+    "DirtyStateView",
+    "DirtyTrackingStore",
 ]

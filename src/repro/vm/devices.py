@@ -35,6 +35,8 @@ class VirtualDisk:
         self._blocks: Dict[int, bytes] = dict(initial_blocks or {})
         self._reads = 0
         self._writes = 0
+        self._dirty_blocks: set[int] = set()
+        self._fully_dirty = True  # nothing snapshotted yet
 
     def read(self, block: int) -> bytes:
         if block < 0:
@@ -50,6 +52,7 @@ class VirtualDisk:
                 f"block write of {len(data)} bytes exceeds block size {self.BLOCK_SIZE}")
         self._writes += 1
         self._blocks[block] = bytes(data)
+        self._dirty_blocks.add(block)
 
     @property
     def reads(self) -> int:
@@ -65,6 +68,20 @@ class VirtualDisk:
 
     def set_state(self, state: Dict[str, str]) -> None:
         self._blocks = {int(block): bytes.fromhex(data) for block, data in state.items()}
+        self._fully_dirty = True
+
+    # -- dirty tracking (copy-on-write snapshots) ----------------------------
+
+    def dirty_blocks(self) -> Optional[set[int]]:
+        """Blocks written since the last snapshot; ``None`` = everything."""
+        if self._fully_dirty:
+            return None
+        return set(self._dirty_blocks)
+
+    def mark_snapshot_clean(self) -> None:
+        """Forget recorded dirt (called right after a snapshot)."""
+        self._dirty_blocks.clear()
+        self._fully_dirty = False
 
 
 class VirtualNic:

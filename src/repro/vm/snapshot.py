@@ -1,4 +1,4 @@
-"""VM snapshots with hash trees.
+"""VM snapshots with hash trees — copy-on-write and incremental.
 
 Section 4.4: *To enable spot checking and incremental audits, the AVMM
 periodically takes a snapshot of the AVM's current state.  To save space,
@@ -6,24 +6,46 @@ snapshots are incremental... The AVMM also maintains a hash tree over the
 state; after each snapshot, it updates the tree and then records the top-level
 value in the log.*
 
-A snapshot here is the serialised VM state split into fixed-size pages; an
-:class:`IncrementalSnapshot` stores only pages that changed since the previous
-snapshot.  The Merkle root over the page list is what gets logged, and the
-auditor can download either the whole snapshot or individual pages with
-inclusion proofs.
+A snapshot is the serialised VM state split into fixed-size pages; the Merkle
+root over the page list is what gets logged, and the auditor can download
+either the whole snapshot or individual pages with inclusion proofs.
+
+The manager implements the paper's design literally:
+
+* serialisation is *cached per state key* (:class:`~repro.vm.state_store.
+  CachedStateSerializer`), so taking a snapshot re-encodes only the keys the
+  VM reports dirty;
+* one persistent :class:`~repro.crypto.merkle.MerkleTree` per machine is
+  *updated* (``update_leaf``/``append_leaf``/``truncate``, O(log n) each)
+  instead of rebuilt from all leaves;
+* storage is a **delta chain**: every snapshot is kept as its changed pages
+  (:class:`IncrementalSnapshot`); full page lists exist only at periodic
+  *keyframes* plus a small LRU of materialised states, so resident memory is
+  bounded for unbounded runs.  :meth:`SnapshotManager.reconstruct_state`
+  materialises any snapshot on demand by replaying the delta chain from the
+  nearest keyframe, verifying the page count and Merkle root at every step.
 """
 
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.errors import SnapshotError
 from repro.vm.execution import ExecutionTimestamp
+from repro.vm.state_store import CachedStateSerializer, DirtyPaths
 
 PAGE_SIZE = 4096
+
+#: full snapshots are materialised on demand; this many stay cached
+DEFAULT_MATERIALIZED_CACHE = 4
+
+#: a full page list (keyframe) is retained every this-many snapshots;
+#: everything in between lives as deltas only
+DEFAULT_KEYFRAME_INTERVAL = 16
 
 # The paper notes (Section 6.12) that VMware Workstation dumps the AVM's full
 # main memory (512 MB) for every snapshot; we carry that figure in the cost
@@ -45,16 +67,31 @@ def paginate(data: bytes, page_size: int = PAGE_SIZE) -> List[bytes]:
     return [data[i:i + page_size] for i in range(0, len(data), page_size)]
 
 
-@dataclass
 class Snapshot:
-    """A full snapshot of VM state at a point in the execution."""
+    """A full snapshot of VM state at a point in the execution.
 
-    snapshot_id: int
-    execution: ExecutionTimestamp
-    pages: List[bytes]
-    state_root: bytes
-    state: Dict[str, Any]
-    memory_dump_bytes: int = FULL_MEMORY_DUMP_BYTES
+    The ``state`` dictionary is materialised lazily from the page bytes, so
+    producing a :class:`Snapshot` on the hot path costs nothing beyond the
+    page list itself.
+    """
+
+    def __init__(self, snapshot_id: int, execution: ExecutionTimestamp,
+                 pages: List[bytes], state_root: bytes,
+                 state: Optional[Dict[str, Any]] = None,
+                 memory_dump_bytes: int = FULL_MEMORY_DUMP_BYTES) -> None:
+        self.snapshot_id = snapshot_id
+        self.execution = execution
+        self.pages = pages
+        self.state_root = state_root
+        self.memory_dump_bytes = memory_dump_bytes
+        self._state = state
+
+    @property
+    def state(self) -> Dict[str, Any]:
+        """The state dictionary (decoded from the pages on first access)."""
+        if self._state is None:
+            self._state = json.loads(b"".join(self.pages).decode("utf-8"))
+        return self._state
 
     @property
     def disk_bytes(self) -> int:
@@ -72,7 +109,12 @@ class Snapshot:
 
 @dataclass
 class IncrementalSnapshot:
-    """Pages that changed since the previous snapshot, plus the new root."""
+    """Pages that changed since the previous snapshot, plus the new root.
+
+    This is the durable form of every snapshot: the delta an auditor
+    downloads (Section 4.4, "to save space, snapshots are incremental") and
+    the record the manager replays to materialise full state on demand.
+    """
 
     snapshot_id: int
     execution: ExecutionTimestamp
@@ -80,6 +122,7 @@ class IncrementalSnapshot:
     changed_pages: Dict[int, bytes]
     page_count: int
     state_root: bytes
+    page_size: int = PAGE_SIZE
     memory_dump_bytes: int = FULL_MEMORY_DUMP_BYTES
 
     @property
@@ -88,86 +131,316 @@ class IncrementalSnapshot:
         return sum(len(page) for page in self.changed_pages.values())
 
 
-class SnapshotManager:
-    """Takes snapshots of a VM and reconstructs full state for audits."""
+def apply_delta(pages: List[bytes], delta: IncrementalSnapshot) -> List[bytes]:
+    """Apply one delta to a base page list, verifying the result.
+
+    Removed trailing pages are implied by ``delta.page_count``; rather than
+    truncating silently, the reconstruction is checked twice — the page list
+    must tile exactly (no holes, no stray indices) and its Merkle root must
+    equal the delta's recorded ``state_root``.  Any mismatch raises
+    :class:`SnapshotError`.
+    """
+    result: List[Optional[bytes]] = list(pages)
+    if delta.page_count < 1:
+        raise SnapshotError(
+            f"delta {delta.snapshot_id} advertises page count {delta.page_count}")
+    if delta.page_count < len(result):
+        del result[delta.page_count:]
+    elif delta.page_count > len(result):
+        result.extend([None] * (delta.page_count - len(result)))
+    for index, page in delta.changed_pages.items():
+        if index < 0 or index >= delta.page_count:
+            raise SnapshotError(
+                f"delta {delta.snapshot_id} contains page {index} outside "
+                f"its advertised page count {delta.page_count}")
+        result[index] = page
+    if any(page is None for page in result):
+        missing = [i for i, page in enumerate(result) if page is None]
+        raise SnapshotError(
+            f"delta {delta.snapshot_id} grows the snapshot but does not "
+            f"supply pages {missing[:5]}")
+    applied: List[bytes] = result  # type: ignore[assignment]
+    if MerkleTree(applied).root != delta.state_root:
+        raise SnapshotError(
+            f"delta {delta.snapshot_id} reconstruction fails hash-tree "
+            f"verification (page count {delta.page_count})")
+    return applied
+
+
+class IncrementalStateHasher:
+    """Maintains canonical pages and their Merkle tree across state changes.
+
+    One instance follows one machine's state.  Each :meth:`update` call
+    serialises only the dirty keys (cached fragments for the rest), turns
+    the dirty byte spans into candidate pages, byte-compares just those
+    candidates against the previous pages, and repairs the persistent tree
+    with O(changed x log n) hash work.  The replayer uses a private instance
+    the same way, so replay-side snapshot checks are incremental too.
+    """
 
     def __init__(self, page_size: int = PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise SnapshotError(f"page size must be positive, got {page_size}")
         self.page_size = page_size
-        self._snapshots: Dict[int, Snapshot] = {}
-        self._incrementals: Dict[int, IncrementalSnapshot] = {}
+        self._serializer = CachedStateSerializer()
+        self._tree: Optional[MerkleTree] = None
+        self._pages: Optional[List[bytes]] = None
+        self._buffer: Optional[bytearray] = None
+
+    @property
+    def pages(self) -> Optional[List[bytes]]:
+        """The current page list (live; treat as read-only)."""
+        return self._pages
+
+    def update(self, state: Dict[str, Any], dirty_paths: DirtyPaths = None
+               ) -> Tuple[List[bytes], Dict[int, bytes], bytes]:
+        """Bring pages and tree up to date with ``state``.
+
+        Returns ``(pages, changed_pages, root)`` where ``changed_pages``
+        has exactly the semantics of the historical full diff: a page is
+        included iff its bytes differ from the previous snapshot's page at
+        the same index, or it lies beyond the previous page count.
+
+        Steady state (no key churn, no value resized): the serializer hands
+        back in-place patches, applied to the working buffer without any
+        full-buffer copy; only pages overlapping a patch are re-sliced,
+        re-compared and re-hashed.
+        """
+        serialized = self._serializer.serialize(state, dirty_paths)
+        if serialized.data is None and self._buffer is not None \
+                and self._pages is not None:
+            return self._update_patched(serialized)
+        data = serialized.data if serialized.data is not None \
+            else self._serializer.materialize()
+        pages = paginate(data, self.page_size)
+        changed = self._diff_pages(pages, serialized.dirty_spans)
+        self._apply_to_tree(pages, changed)
+        self._pages = pages
+        self._buffer = bytearray(data)
+        assert self._tree is not None
+        return pages, changed, self._tree.root
+
+    def _update_patched(self, serialized) -> Tuple[List[bytes],
+                                                   Dict[int, bytes], bytes]:
+        """Apply in-place patches: O(dirty bytes + touched pages)."""
+        buffer = self._buffer
+        pages = self._pages
+        page_size = self.page_size
+        for offset, fragment in serialized.patches or ():
+            buffer[offset:offset + len(fragment)] = fragment
+        candidates = set()
+        for start, end in serialized.dirty_spans or ():
+            if end <= start:
+                continue
+            first = max(0, start) // page_size
+            last = min(end - 1, len(pages) * page_size) // page_size
+            candidates.update(range(first, min(last + 1, len(pages))))
+        changed: Dict[int, bytes] = {}
+        for index in sorted(candidates):
+            page = bytes(buffer[index * page_size:(index + 1) * page_size])
+            if page != pages[index]:
+                changed[index] = page
+        tree = self._tree
+        for index, page in changed.items():
+            pages[index] = page
+            tree.update_leaf(index, page)
+        return pages, changed, tree.root
+
+    # -- internals -----------------------------------------------------------
+
+    def _diff_pages(self, pages: List[bytes],
+                    dirty_spans: Optional[List[Tuple[int, int]]]
+                    ) -> Dict[int, bytes]:
+        previous = self._pages
+        if previous is None:
+            return dict(enumerate(pages))
+        if dirty_spans is None:
+            candidates = range(len(pages))
+        else:
+            indices = set(range(len(previous), len(pages)))
+            for start, end in dirty_spans:
+                if end <= start:
+                    continue
+                first = max(0, start) // self.page_size
+                last = min(end - 1, len(pages) * self.page_size) // self.page_size
+                indices.update(range(first, min(last + 1, len(pages))))
+            candidates = sorted(indices)
+        changed: Dict[int, bytes] = {}
+        for i in candidates:
+            page = pages[i]
+            if i >= len(previous) or previous[i] != page:
+                changed[i] = page
+        return changed
+
+    def _apply_to_tree(self, pages: List[bytes],
+                       changed: Dict[int, bytes]) -> None:
+        if self._tree is None or self._pages is None:
+            self._tree = MerkleTree(pages)
+            return
+        tree = self._tree
+        if len(pages) < tree.size:
+            tree.truncate(len(pages))
+        for index in sorted(changed):
+            if index < tree.size:
+                tree.update_leaf(index, pages[index])
+            elif index == tree.size:
+                tree.append_leaf(pages[index])
+            else:  # pragma: no cover - the diff yields dense tail indices
+                raise SnapshotError(
+                    f"page {index} appended beyond the tree's {tree.size} leaves")
+
+
+@dataclass
+class SnapshotStats:
+    """Work and storage counters (drives the snapshot benchmark's table)."""
+
+    takes: int = 0
+    pages_hashed: int = 0
+    dirty_bytes_total: int = 0
+    keyframes: int = 0
+    materializations: int = 0
+
+
+class SnapshotManager:
+    """Takes copy-on-write snapshots and reconstructs full state for audits.
+
+    Storage layout: every snapshot is a delta (changed pages); every
+    ``keyframe_interval``-th snapshot additionally pins its full page list.
+    Materialising snapshot *s* loads the nearest keyframe at or below *s*
+    and applies at most ``keyframe_interval - 1`` deltas, verifying page
+    count and Merkle root at each step; a bounded LRU keeps recently
+    materialised snapshots hot for audit bursts.  Resident memory is
+    therefore O(keyframes + deltas), not O(snapshots x state).
+    """
+
+    def __init__(self, page_size: int = PAGE_SIZE,
+                 keyframe_interval: int = DEFAULT_KEYFRAME_INTERVAL,
+                 materialized_cache: int = DEFAULT_MATERIALIZED_CACHE) -> None:
+        if keyframe_interval < 1:
+            raise SnapshotError(
+                f"keyframe interval must be >= 1, got {keyframe_interval}")
+        self.page_size = page_size
+        self.keyframe_interval = keyframe_interval
+        self.stats = SnapshotStats()
+        self._hasher = IncrementalStateHasher(page_size)
+        self._deltas: Dict[int, IncrementalSnapshot] = {}
+        self._keyframes: Dict[int, List[bytes]] = {}
+        self._executions: Dict[int, ExecutionTimestamp] = {}
+        self._materialized: "OrderedDict[int, Snapshot]" = OrderedDict()
+        self._materialized_limit = max(1, materialized_cache)
         self._next_id = 1
-        self._previous_pages: Optional[List[bytes]] = None
 
     # -- taking snapshots -----------------------------------------------------
 
-    def take(self, state: Dict[str, Any], execution: ExecutionTimestamp) -> Snapshot:
-        """Snapshot ``state``; stores both the full and the incremental form."""
-        data = serialize_state(state)
-        pages = paginate(data, self.page_size)
-        tree = MerkleTree(pages)
-        snapshot = Snapshot(
-            snapshot_id=self._next_id,
+    def take(self, state: Dict[str, Any], execution: ExecutionTimestamp,
+             dirty_paths: DirtyPaths = None) -> Snapshot:
+        """Snapshot ``state``; work is proportional to the dirty portion.
+
+        ``dirty_paths`` is the set of state keys (or nested key paths) that
+        changed since the previous snapshot, as produced by
+        :meth:`repro.vm.machine.VirtualMachine.get_dirty_state`.  ``None``
+        (the legacy call shape) re-serialises everything — still correct,
+        and still cheaper than the historical full rebuild because the
+        Merkle tree is repaired rather than reconstructed.
+        """
+        snapshot_id = self._next_id
+        pages, changed, root = self._hasher.update(state, dirty_paths)
+        delta = IncrementalSnapshot(
+            snapshot_id=snapshot_id,
             execution=execution,
-            pages=pages,
-            state_root=tree.root,
-            state=json.loads(data.decode("utf-8")),
-        )
-        changed = self._diff_pages(pages)
-        incremental = IncrementalSnapshot(
-            snapshot_id=self._next_id,
-            execution=execution,
-            base_snapshot_id=self._next_id - 1 if self._next_id > 1 else None,
+            base_snapshot_id=snapshot_id - 1 if snapshot_id > 1 else None,
             changed_pages=changed,
             page_count=len(pages),
-            state_root=tree.root,
+            state_root=root,
+            page_size=self.page_size,
         )
-        self._snapshots[self._next_id] = snapshot
-        self._incrementals[self._next_id] = incremental
-        self._previous_pages = pages
+        self._deltas[snapshot_id] = delta
+        self._executions[snapshot_id] = execution
+        if self._is_keyframe(snapshot_id):
+            self._keyframes[snapshot_id] = list(pages)
+            self.stats.keyframes += 1
         self._next_id += 1
-        return snapshot
+        self.stats.takes += 1
+        self.stats.pages_hashed += len(changed)
+        self.stats.dirty_bytes_total += delta.incremental_bytes
+        return Snapshot(snapshot_id=snapshot_id, execution=execution,
+                        pages=list(pages), state_root=root)
 
-    def _diff_pages(self, pages: List[bytes]) -> Dict[int, bytes]:
-        if self._previous_pages is None:
-            return {i: page for i, page in enumerate(pages)}
-        changed: Dict[int, bytes] = {}
-        for i, page in enumerate(pages):
-            if i >= len(self._previous_pages) or self._previous_pages[i] != page:
-                changed[i] = page
-        return changed
+    def _is_keyframe(self, snapshot_id: int) -> bool:
+        return (snapshot_id - 1) % self.keyframe_interval == 0
 
     # -- queries --------------------------------------------------------------
 
     @property
     def count(self) -> int:
-        return len(self._snapshots)
+        return len(self._deltas)
 
     def snapshot_ids(self) -> List[int]:
-        return sorted(self._snapshots)
+        return sorted(self._deltas)
 
     def get(self, snapshot_id: int) -> Snapshot:
-        snapshot = self._snapshots.get(snapshot_id)
-        if snapshot is None:
+        """Materialise the full snapshot ``snapshot_id`` (LRU-cached)."""
+        cached = self._materialized.get(snapshot_id)
+        if cached is not None:
+            self._materialized.move_to_end(snapshot_id)
+            return cached
+        delta = self._deltas.get(snapshot_id)
+        if delta is None:
             raise SnapshotError(f"no snapshot with id {snapshot_id}")
+        pages = self._materialize_pages(snapshot_id)
+        snapshot = Snapshot(snapshot_id=snapshot_id,
+                            execution=self._executions[snapshot_id],
+                            pages=pages, state_root=delta.state_root)
+        self._materialized[snapshot_id] = snapshot
+        while len(self._materialized) > self._materialized_limit:
+            self._materialized.popitem(last=False)
         return snapshot
 
+    def _materialize_pages(self, snapshot_id: int) -> List[bytes]:
+        """Replay the delta chain from the nearest keyframe, verified."""
+        latest = self._next_id - 1
+        if snapshot_id == latest and self._hasher.pages is not None:
+            return list(self._hasher.pages)
+        base_id = snapshot_id - (snapshot_id - 1) % self.keyframe_interval
+        keyframe = self._keyframes.get(base_id)
+        if keyframe is None:
+            raise SnapshotError(
+                f"keyframe {base_id} needed to materialise snapshot "
+                f"{snapshot_id} is missing")
+        self.stats.materializations += 1
+        pages = list(keyframe)
+        for delta_id in range(base_id + 1, snapshot_id + 1):
+            pages = apply_delta(pages, self._deltas[delta_id])
+        if snapshot_id == base_id \
+                and MerkleTree(pages).root != self._deltas[base_id].state_root:
+            raise SnapshotError(
+                f"keyframe {base_id} fails hash-tree verification")
+        return pages
+
     def get_incremental(self, snapshot_id: int) -> IncrementalSnapshot:
-        incremental = self._incrementals.get(snapshot_id)
+        incremental = self._deltas.get(snapshot_id)
         if incremental is None:
             raise SnapshotError(f"no incremental snapshot with id {snapshot_id}")
         return incremental
 
+    def is_keyframe(self, snapshot_id: int) -> bool:
+        """Whether ``snapshot_id`` is stored as a full keyframe."""
+        if snapshot_id not in self._deltas:
+            raise SnapshotError(f"no snapshot with id {snapshot_id}")
+        return snapshot_id in self._keyframes
+
     def latest(self) -> Optional[Snapshot]:
-        if not self._snapshots:
+        if not self._deltas:
             return None
-        return self._snapshots[max(self._snapshots)]
+        return self.get(max(self._deltas))
 
     def reconstruct_state(self, snapshot_id: int) -> Dict[str, Any]:
         """Return the full VM state stored at ``snapshot_id``.
 
-        Audits that download incrementals would rebuild the page list from the
-        base chain; since the manager retains full snapshots we can return the
-        state directly after re-verifying the Merkle root.
+        Materialised from the keyframe + delta chain; every applied delta is
+        verified against its recorded page count and Merkle root, so a
+        corrupted chain raises :class:`SnapshotError` rather than yielding a
+        silently-wrong state.
         """
         snapshot = self.get(snapshot_id)
         if not snapshot.verify_root():
@@ -183,3 +456,55 @@ class SnapshotManager:
         if include_memory_dump:
             cost += incremental.memory_dump_bytes
         return cost
+
+    # -- memory accounting ----------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Approximate bytes the manager keeps resident.
+
+        Counts keyframe pages, delta pages, the current working page list
+        and the materialisation cache.  Bounded by O(keyframes + deltas) —
+        the point of the copy-on-write layout — where the historical design
+        held every full snapshot forever.
+        """
+        total = sum(len(page) for pages in self._keyframes.values()
+                    for page in pages)
+        total += sum(delta.incremental_bytes for delta in self._deltas.values())
+        if self._hasher.pages is not None:
+            total += sum(len(page) for page in self._hasher.pages)
+        total += sum(snapshot.disk_bytes
+                     for snapshot in self._materialized.values())
+        return total
+
+    # -- shipping (archive / ingest payloads) ---------------------------------
+
+    def ship_payload(self, snapshot_id: int,
+                     force_keyframe: bool = False) -> Dict[str, Any]:
+        """The wire payload for shipping ``snapshot_id`` to an archive.
+
+        Keyframes ship the full state; everything else ships only its delta
+        (changed pages + page count), per Section 4.4's space argument.  The
+        archive re-materialises on demand from its own copy of the chain.
+        ``force_keyframe`` ships the full state regardless — the anchor a
+        shipper needs for the first snapshot a fresh archive ever sees,
+        whose delta base the archive would not hold.
+        """
+        delta = self.get_incremental(snapshot_id)
+        payload: Dict[str, Any] = {
+            "snapshot_id": snapshot_id,
+            "state_root": delta.state_root.hex(),
+            "transfer_bytes": self.transfer_cost_bytes(snapshot_id),
+            "execution": delta.execution.to_dict(),
+            "page_count": delta.page_count,
+            "page_size": self.page_size,
+        }
+        if force_keyframe or self.is_keyframe(snapshot_id):
+            payload["kind"] = "keyframe"
+            payload["state"] = self.get(snapshot_id).state
+        else:
+            payload["kind"] = "delta"
+            payload["base_snapshot_id"] = delta.base_snapshot_id
+            payload["changed_pages"] = {
+                str(index): page.hex()
+                for index, page in sorted(delta.changed_pages.items())}
+        return payload

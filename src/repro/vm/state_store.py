@@ -1,0 +1,497 @@
+"""Dirty-tracked VM state and cached canonical serialization.
+
+Section 4.4 makes snapshots *incremental* — their cost must be proportional
+to what changed, not to the total state.  Two pieces make that possible on
+the serialisation side:
+
+* :class:`DirtyTrackingStore` — a dict-like store guests (and devices) can
+  keep their state in; it records which top-level keys were written since
+  the last snapshot, so the AVMM knows what to re-serialise.
+* :class:`CachedStateSerializer` — produces the *same bytes* as
+  :func:`repro.vm.snapshot.serialize_state` (canonical sorted-key JSON) but
+  caches a serialised fragment per key, re-encoding only the keys reported
+  dirty and assembling the rest from cache.  Alongside the bytes it returns
+  the *dirty byte spans*: the regions of the output that are not guaranteed
+  byte-identical to the previous serialisation.  The snapshot manager turns
+  those spans into candidate pages, so the page diff and the Merkle-tree
+  update touch only what moved.
+
+The fragment cache nests: a value that is itself a dict with string keys is
+serialised compositionally (up to :data:`MAX_CACHE_DEPTH` levels), so a
+guest reporting ``("tables", "t42")`` dirty re-encodes one table, not its
+whole database.  Dicts with non-string keys fall back to one
+``json.dumps`` — Python's ``sort_keys`` sorts those before stringification,
+which a string-keyed assembly cannot reproduce.
+
+Correctness contract: callers must report *every* key whose value changed
+(``None`` — "everything is dirty" — is always safe and is what
+:meth:`serialize` assumes when no dirt information is given).  Added and
+removed keys are detected by the serializer itself, so key-set churn cannot
+go stale.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+#: deepest dict level serialised compositionally (and therefore cacheable);
+#: level 0 is the VM state's top level, level 1 the guest/device dicts,
+#: level 2 their big collections (tables, blocks, ...)
+MAX_CACHE_DEPTH = 3
+
+#: a dirty path addresses one key (or nested key chain) of the state dict
+DirtyPath = Tuple[str, ...]
+DirtyPaths = Optional[Set[DirtyPath]]
+
+
+def _dumps(value: Any) -> str:
+    """Canonical JSON for one value — must match ``serialize_state``."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def paths_to_spec(paths: Iterable[Union[str, DirtyPath]]) -> Optional[Dict[str, Any]]:
+    """Fold dirty paths into a nested spec dict.
+
+    ``{"a", ("b", "x")}`` becomes ``{"a": None, "b": {"x": None}}`` where
+    ``None`` means "this whole subtree is dirty".  An empty path makes the
+    entire state dirty, signalled by returning ``None``.
+    """
+    spec: Dict[str, Any] = {}
+    for path in paths:
+        if isinstance(path, str):
+            path = (path,)
+        if not path:
+            return None  # everything dirty
+        node = spec
+        for part in path[:-1]:
+            child = node.get(part)
+            if child is None and part in node:
+                break  # an ancestor is already fully dirty
+            node = node.setdefault(part, {})
+        else:
+            node[path[-1]] = None
+    return spec
+
+
+@dataclass
+class SerializedState:
+    """Result of one canonical serialisation.
+
+    Two shapes, matching the two regimes:
+
+    * **rebuilt** — ``data`` holds the full canonical bytes (first call,
+      unknown dirt, or something changed length so the layout shifted);
+    * **patched** — ``data`` is ``None`` and ``patches`` lists
+      ``(offset, bytes)`` splices that transform the *previous* output into
+      the current one.  Nothing changed length, so holders of the previous
+      buffer apply the splices in place — zero full-buffer copies, the
+      steady state of a large, mostly-idle machine.
+
+    ``dirty_spans`` lists the half-open byte ranges not guaranteed equal to
+    the previous serialisation (``None`` = anything may have changed).
+    """
+
+    data: Optional[bytes]
+    dirty_spans: Optional[List[Tuple[int, int]]]
+    patches: Optional[List[Tuple[int, bytes]]] = None
+    total_length: int = 0
+
+
+class _CacheNode:
+    """Fragment cache for one dict level of the state.
+
+    Fragments are kept as a list in key order so the steady-state
+    serialisation of a level with an unchanged key set is a few in-place
+    splices plus one ``b",".join`` — no per-key Python loop over the clean
+    majority.
+    """
+
+    __slots__ = ("parts", "index", "offsets", "children", "total_length",
+                 "stale")
+
+    def __init__(self) -> None:
+        self.parts: List[bytes] = []
+        self.index: Dict[str, int] = {}
+        self.offsets: List[int] = []
+        self.children: Dict[str, "_CacheNode"] = {}
+        self.total_length: int = -1  # -1 = never serialised
+        #: keys whose cached fragment is outdated relative to the child
+        #: node's parts (same length — only in-place patches happened);
+        #: re-joined lazily, only if this level ever needs a full join again
+        self.stale: Set[str] = set()
+
+
+class CachedStateSerializer:
+    """Serialises a state dict canonically, re-encoding only dirty keys."""
+
+    def __init__(self) -> None:
+        self._root = _CacheNode()
+        self._primed = False
+
+    def serialize(self, state: Dict[str, Any],
+                  dirty_paths: DirtyPaths = None) -> SerializedState:
+        """Serialise ``state``; ``dirty_paths`` lists what changed.
+
+        ``None`` (no information) re-encodes everything and refreshes the
+        cache; an explicit set re-encodes only those subtrees plus any key
+        reported added or removed.  When nothing changed length the result
+        comes back as in-place patches (see :class:`SerializedState`).
+        """
+        if not self._primed or dirty_paths is None:
+            spec: Optional[Dict[str, Any]] = None
+        else:
+            spec = paths_to_spec(dirty_paths)
+        data, patches, spans, _ = self._serialize_node(self._root, state, spec, 0)
+        self._primed = True
+        total = self._root.total_length
+        if spec is None:
+            return SerializedState(data=data, dirty_spans=None, total_length=total)
+        return SerializedState(data=data, dirty_spans=spans, patches=patches,
+                               total_length=total)
+
+    def materialize(self) -> bytes:
+        """The full canonical bytes of the last :meth:`serialize` call."""
+        return self._materialize_node(self._root)
+
+    # -- internals -----------------------------------------------------------
+    #
+    # _serialize_node returns (data, patches, spans, changed):
+    #   * data is the node's full canonical bytes, or None when nothing in
+    #     the subtree changed length — then `patches` lists (offset, bytes)
+    #     in-place splices relative to the node's previous output;
+    #   * spans are the dirty byte ranges relative to the node's output;
+    #   * changed says whether anything in the subtree was re-encoded.
+
+    def _serialize_node(self, node: _CacheNode, value: Dict[str, Any],
+                        spec: Optional[Dict[str, Any]], depth: int
+                        ) -> Tuple[Optional[bytes],
+                                   Optional[List[Tuple[int, bytes]]],
+                                   List[Tuple[int, int]], bool]:
+        if spec is not None and node.total_length >= 0 \
+                and len(value) == len(node.index):
+            # Same cardinality and no reported churn: the key set is
+            # unchanged (balanced add+remove shows up in the spec — every
+            # changed key, including added and removed ones, must be
+            # reported).  This keeps the steady-state check O(dirty).
+            for key in spec:
+                if (key in node.index) != (key in value):
+                    break  # reported add/remove: take the general path
+            else:
+                return self._serialize_fast(node, value, spec, depth)
+        return self._serialize_full(node, value, spec, depth)
+
+    def _encode_fragment(self, node: _CacheNode, key: str, item: Any,
+                         sub: Optional[Dict[str, Any]], depth: int
+                         ) -> Tuple[Optional[bytes],
+                                    Optional[List[Tuple[int, bytes]]],
+                                    Optional[List[Tuple[int, int]]], int]:
+        """Re-encode one dirty ``key: value`` fragment.
+
+        Returns ``(fragment, patches, child_spans, key_prefix_len)``.  For a
+        partially-dirty nested dict that did not change length, ``fragment``
+        is ``None`` and ``patches``/``child_spans`` are relative to the
+        nested value's bytes; otherwise ``fragment`` is the full new bytes.
+        """
+        if depth < MAX_CACHE_DEPTH and isinstance(item, dict):
+            child = node.children.get(key)
+            # An existing child proves the dict was string-keyed last time;
+            # only a fresh (or fully-dirtied) dict pays the O(n) key scan.
+            # Python sorts non-string keys *before* stringification, which a
+            # string-keyed assembly cannot reproduce — those stay leaves.
+            if child is not None and sub is not None and child.total_length >= 0:
+                nested = True
+            else:
+                nested = all(isinstance(k, str) for k in item)
+                if nested and (child is None or sub is None):
+                    child = _CacheNode()
+            if nested:
+                key_part = (_dumps(key) + ":").encode("utf-8")
+                child_data, child_patches, child_spans, _ = \
+                    self._serialize_node(child, item, sub, depth + 1)
+                node.children[key] = child
+                if child_data is None:
+                    return None, child_patches, child_spans, len(key_part)
+                if sub is None:
+                    child_spans = None  # fully re-encoded: no fine spans
+                return key_part + child_data, None, child_spans, len(key_part)
+        node.children.pop(key, None)
+        fragment = (_dumps(key) + ":" + _dumps(item)).encode("utf-8")
+        return fragment, None, None, 0
+
+    def _serialize_fast(self, node: _CacheNode, value: Dict[str, Any],
+                        spec: Dict[str, Any], depth: int
+                        ) -> Tuple[Optional[bytes],
+                                   Optional[List[Tuple[int, bytes]]],
+                                   List[Tuple[int, int]], bool]:
+        """Steady state: the key set is unchanged, only ``spec`` is dirty.
+
+        Cost is O(dirty keys).  As long as nothing changes length the node's
+        previous bytes stay valid except at the returned patch offsets, so
+        no join happens at all; a resize falls back to one full join of
+        this level (materialising any lazily-patched fragments first).
+        """
+        parts = node.parts
+        offsets = node.offsets
+        spans: List[Tuple[int, int]] = []
+        patches: List[Tuple[int, bytes]] = []
+        resized: List[Tuple[int, bytes]] = []  # (position, fragment)
+        changed_any = False
+        for key, sub in spec.items():
+            position = node.index.get(key)
+            if position is None:
+                continue  # stale dirt for a key not present (nothing encoded)
+            changed_any = True
+            old_length = len(parts[position])
+            fragment, sub_patches, child_spans, key_prefix_len = \
+                self._encode_fragment(node, key, value[key], sub, depth)
+            frag_offset = offsets[position]
+            if fragment is None:
+                # Nested child patched itself in place: translate, and defer
+                # re-joining our cached copy until a join is actually needed.
+                base = frag_offset + key_prefix_len
+                patches.extend((base + o, b) for o, b in sub_patches)
+                spans.extend((base + s, base + e) for s, e in child_spans)
+                node.stale.add(key)
+                continue
+            if len(fragment) == old_length:
+                parts[position] = fragment
+                node.stale.discard(key)
+                patches.append((frag_offset, fragment))
+                if child_spans is not None:
+                    base = frag_offset + key_prefix_len
+                    spans.extend((base + s, base + e) for s, e in child_spans)
+                else:
+                    spans.append((frag_offset - (1 if position else 0),
+                                  frag_offset + len(fragment)))
+            else:
+                parts[position] = fragment
+                node.stale.discard(key)
+                resized.append((position, fragment))
+        if not resized:
+            return None, patches, spans, changed_any
+        # Something changed length: every byte from the first shift onward
+        # is a candidate, and this level needs a real join (which requires
+        # all lazily-patched fragments to be fresh again).
+        min_shift = min(offsets[position] - (1 if position else 0)
+                        for position, _ in resized)
+        self._refresh_stale(node)
+        data = b"{" + b",".join(parts) + b"}"
+        spans.append((max(0, min_shift), max(node.total_length, len(data))))
+        self._rebuild_offsets(node)
+        node.total_length = len(data)
+        return data, None, spans, changed_any
+
+    def _refresh_stale(self, node: _CacheNode) -> None:
+        """Re-join cached fragments whose children were patched in place."""
+        for key in node.stale:
+            position = node.index[key]
+            child_bytes = self._materialize_node(node.children[key])
+            node.parts[position] = \
+                (_dumps(key) + ":").encode("utf-8") + child_bytes
+        node.stale.clear()
+
+    def _materialize_node(self, node: _CacheNode) -> bytes:
+        self._refresh_stale(node)
+        return b"{" + b",".join(node.parts) + b"}"
+
+    @staticmethod
+    def _rebuild_offsets(node: _CacheNode) -> None:
+        offsets = []
+        offset = 1  # after the opening "{"
+        for part in node.parts:
+            offsets.append(offset)
+            offset += len(part) + 1  # fragment plus separator/brace
+        node.offsets = offsets
+
+    def _serialize_full(self, node: _CacheNode, value: Dict[str, Any],
+                        spec: Optional[Dict[str, Any]], depth: int
+                        ) -> Tuple[bytes, None, List[Tuple[int, int]], bool]:
+        """General path: first serialisation, unknown dirt, or key churn."""
+        self._refresh_stale(node)
+        keys = sorted(value)
+        old_parts = node.parts
+        old_index = node.index
+        old_offsets = node.offsets
+        parts: List[bytes] = []
+        offsets: List[int] = []
+        index: Dict[str, int] = {}
+        spans: List[Tuple[int, int]] = []
+        new_children: Dict[str, _CacheNode] = {}
+        changed_any = False
+        offset = 1  # after the opening "{"
+
+        for position, key in enumerate(keys):
+            if spec is None:
+                dirty, sub = True, None
+            elif key in spec:
+                dirty, sub = True, spec[key]
+            else:
+                # a key the caller did not mention: clean if cached, new
+                # (and therefore dirty) otherwise
+                dirty, sub = key not in old_index, None
+
+            sep = 0 if position == 0 else 1
+            frag_offset = offset + sep
+            child_spans: Optional[List[Tuple[int, int]]] = None
+            key_prefix_len = 0
+            old_position = old_index.get(key)
+            previous_offset = old_offsets[old_position] \
+                if old_position is not None else None
+
+            if not dirty:
+                fragment = old_parts[old_position]
+                child = node.children.get(key)
+                if child is not None:
+                    new_children[key] = child
+            else:
+                changed_any = True
+                fragment, sub_patches, child_spans, key_prefix_len = \
+                    self._encode_fragment(node, key, value[key], sub, depth)
+                if fragment is None:
+                    # The nested child patched itself (same length): apply
+                    # the splices to our cached fragment copy right away —
+                    # this level is re-joining anyway.
+                    base_fragment = bytearray(old_parts[old_position])
+                    for patch_offset, patch_bytes in sub_patches:
+                        start = key_prefix_len + patch_offset
+                        base_fragment[start:start + len(patch_bytes)] = \
+                            patch_bytes
+                    fragment = bytes(base_fragment)
+                if key in node.children:
+                    new_children[key] = node.children[key]
+
+            if not dirty and previous_offset == frag_offset:
+                pass  # byte-identical at the same position: provably clean
+            elif dirty and child_spans is not None \
+                    and previous_offset == frag_offset \
+                    and old_position is not None \
+                    and len(old_parts[old_position]) == len(fragment):
+                # Partially-dirty nested dict that neither moved nor resized:
+                # only the child's own dirty spans can differ.
+                base = frag_offset + key_prefix_len
+                spans.extend((base + s, base + e) for s, e in child_spans)
+            else:
+                spans.append((frag_offset - sep, frag_offset + len(fragment)))
+
+            parts.append(fragment)
+            offsets.append(frag_offset)
+            index[key] = position
+            offset = frag_offset + len(fragment)
+
+        data = b"{" + b",".join(parts) + b"}"
+        total = len(data)
+        if node.total_length >= 0 and total != node.total_length:
+            # Lengths differ: the tail (closing brace, dropped/added bytes)
+            # shifted — make the divergence region a candidate too.
+            tail_start = max(0, min(total, node.total_length) - 1)
+            spans.append((tail_start, max(total, node.total_length)))
+        node.parts = parts
+        node.index = index
+        node.offsets = offsets
+        node.children = new_children
+        node.total_length = total
+        return data, None, spans, changed_any
+
+
+@dataclass
+class DirtyStateView:
+    """A full VM state plus which parts changed since the last snapshot.
+
+    ``dirty_paths=None`` means "unknown — treat everything as dirty"; an
+    empty set means "provably unchanged".
+    """
+
+    state: Dict[str, Any]
+    dirty_paths: DirtyPaths = None
+
+    @property
+    def fully_dirty(self) -> bool:
+        return self.dirty_paths is None
+
+
+class DirtyTrackingStore:
+    """A dict-like store that remembers which keys were written.
+
+    Guests keep their large collections in one of these so the snapshot
+    pipeline can re-serialise only what an event actually touched.  Writes
+    through the mapping interface are tracked automatically; in-place
+    mutation of a nested value must be advertised with :meth:`mark_dirty`.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self._data: Dict[str, Any] = dict(initial or {})
+        self._dirty: Set[str] = set(self._data)
+
+    # -- mapping interface ---------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, item: Any) -> None:
+        self._data[key] = item
+        self._dirty.add(key)
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+        self._dirty.add(key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self):
+        return self._data.items()
+
+    def values(self):
+        return self._data.values()
+
+    def pop(self, key: str, *default: Any) -> Any:
+        value = self._data.pop(key, *default)
+        self._dirty.add(key)
+        return value
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        if key not in self._data:
+            self[key] = default
+        return self._data[key]
+
+    def clear(self) -> None:
+        self._dirty.update(self._data)
+        self._data.clear()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The underlying dict (live reference — do not mutate untracked)."""
+        return self._data
+
+    def replace(self, data: Dict[str, Any]) -> None:
+        """Swap in a whole new mapping (everything becomes dirty)."""
+        self._dirty.update(self._data)
+        self._data = dict(data)
+        self._dirty.update(self._data)
+
+    # -- dirt ----------------------------------------------------------------
+
+    def mark_dirty(self, key: str) -> None:
+        """Advertise an in-place mutation of ``self[key]``."""
+        self._dirty.add(key)
+
+    def dirty_keys(self) -> Set[str]:
+        """Keys written (or explicitly marked) since the last wipe."""
+        return set(self._dirty)
+
+    def mark_clean(self) -> None:
+        """Forget recorded dirt (called after a snapshot)."""
+        self._dirty.clear()

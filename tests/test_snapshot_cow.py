@@ -1,0 +1,635 @@
+"""Tests for the copy-on-write snapshot engine (Section 4.4).
+
+Covers the incremental Merkle tree, the cached canonical serializer, the
+keyframe + delta-chain storage of :class:`~repro.vm.snapshot.SnapshotManager`
+(including verified shrink handling), VM/guest dirty tracking, the archive's
+delta-chain materialisation, and the picklable monitor log clock.
+"""
+
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.avmm.config import AvmmConfig, Configuration
+from repro.avmm.monitor import AccountableVMM
+from repro.crypto.merkle import MerkleTree
+from repro.errors import ArchiveIntegrityError, SnapshotError
+from repro.network.message import MessageKind, NetworkMessage
+from repro.service.ingest import AuditIngestService
+from repro.sim.scheduler import Scheduler
+from repro.store.archive import LogArchive
+from repro.vm.events import PacketDelivery, TimerInterrupt
+from repro.vm.execution import ExecutionTimestamp
+from repro.vm.machine import FixedNondeterminismSource, VirtualMachine
+from repro.vm.snapshot import (
+    IncrementalSnapshot,
+    IncrementalStateHasher,
+    SnapshotManager,
+    apply_delta,
+    paginate,
+    serialize_state,
+)
+from repro.vm.state_store import CachedStateSerializer, DirtyTrackingStore
+from repro.workloads.echo import make_echo_image
+from repro.workloads.kvstore import make_kvserver_image
+
+
+def ts(i):
+    return ExecutionTimestamp(i, 0)
+
+
+# ---------------------------------------------------------------------------
+# Incremental Merkle tree
+# ---------------------------------------------------------------------------
+
+class TestMerkleIncremental:
+    def test_update_leaf_matches_rebuild(self):
+        leaves = [b"a", b"b", b"c", b"d", b"e"]
+        tree = MerkleTree(leaves)
+        leaves[2] = b"C!"
+        tree.update_leaf(2, b"C!")
+        assert tree.root == MerkleTree.root_of(leaves)
+
+    def test_append_leaf_matches_rebuild(self):
+        leaves = [b"only"]
+        tree = MerkleTree(leaves)
+        for extra in (b"x", b"y", b"z", b"w"):
+            leaves.append(extra)
+            tree.append_leaf(extra)
+            assert tree.root == MerkleTree.root_of(leaves)
+
+    def test_truncate_matches_rebuild(self):
+        leaves = [bytes([i]) for i in range(11)]
+        tree = MerkleTree(list(leaves))
+        for size in (7, 4, 3, 1):
+            tree.truncate(size)
+            assert tree.root == MerkleTree.root_of(leaves[:size])
+
+    def test_truncate_bounds_checked(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(SnapshotError):
+            tree.truncate(0)
+        with pytest.raises(SnapshotError):
+            tree.truncate(3)
+
+    def test_update_leaf_bounds_checked(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(SnapshotError):
+            tree.update_leaf(1, b"x")
+
+    def test_randomized_against_scratch_rebuild(self):
+        rng = random.Random(1234)
+        leaves = [b"seed"]
+        tree = MerkleTree(list(leaves))
+        for step in range(300):
+            choice = rng.random()
+            if choice < 0.4:
+                index = rng.randrange(len(leaves))
+                leaves[index] = bytes([rng.randrange(256)]) * rng.randrange(1, 40)
+                tree.update_leaf(index, leaves[index])
+            elif choice < 0.75:
+                leaves.append(b"n" * rng.randrange(1, 30))
+                tree.append_leaf(leaves[-1])
+            elif len(leaves) > 1:
+                size = rng.randrange(1, len(leaves))
+                del leaves[size:]
+                tree.truncate(size)
+            assert tree.root == MerkleTree.root_of(leaves), step
+            probe = rng.randrange(len(leaves))
+            assert tree.proof(probe).verify(tree.root), step
+
+
+# ---------------------------------------------------------------------------
+# Cached canonical serializer
+# ---------------------------------------------------------------------------
+
+def apply_serialized(out, previous):
+    """Resolve a SerializedState to full bytes (rebuilt or patched)."""
+    if out.data is not None:
+        return out.data
+    buffer = bytearray(previous)
+    for offset, fragment in out.patches:
+        buffer[offset:offset + len(fragment)] = fragment
+    return bytes(buffer)
+
+
+class TestCachedStateSerializer:
+    def test_matches_serialize_state(self):
+        serializer = CachedStateSerializer()
+        state = {"b": [1, {"x": 2}], "a": {"nested": {"k": "v"}}, "n": None,
+                 "f": 1.5, "u": "snowman ☃", "e": {}, "t": True}
+        assert serializer.serialize(state).data == serialize_state(state)
+
+    def test_non_string_keyed_dicts_fall_back(self):
+        serializer = CachedStateSerializer()
+        state = {"blocks": {2: "b", 10: "a"}}
+        previous = serializer.serialize(state).data
+        assert previous == serialize_state(state)
+        state["blocks"][7] = "c"
+        out = serializer.serialize(state, {("blocks",)})
+        assert apply_serialized(out, previous) == serialize_state(state)
+
+    def test_dirty_spans_cover_all_byte_differences(self):
+        rng = random.Random(99)
+        serializer = CachedStateSerializer()
+        state = {"guest": {"tables": {f"t{i}": {"k": "v" * i} for i in range(12)},
+                           "ops": 0},
+                 "counter": 0, "tail": "z" * 100}
+        previous = serializer.serialize(state).data
+        for step in range(200):
+            dirty = set()
+            state["counter"] += rng.choice((1, 10 ** rng.randrange(1, 6)))
+            dirty.add(("counter",))
+            if rng.random() < 0.6:
+                name = f"t{rng.randrange(15)}"
+                tables = state["guest"]["tables"]
+                if name in tables and rng.random() < 0.35:
+                    del tables[name]
+                else:
+                    tables[name] = {"k": "x" * rng.randrange(0, 80)}
+                dirty.add(("guest", "tables", name))
+            out = serializer.serialize(state, dirty)
+            reference = serialize_state(state)
+            current = apply_serialized(out, previous)
+            assert current == reference, step
+            # Every byte that differs from the previous serialisation must
+            # fall inside a reported dirty span.
+            covered = set()
+            for start, end in out.dirty_spans:
+                covered.update(range(max(0, start), end))
+            limit = max(len(current), len(previous))
+            for position in range(limit):
+                old = previous[position] if position < len(previous) else None
+                new = current[position] if position < len(current) else None
+                if old != new:
+                    assert position in covered, (step, position)
+            previous = reference
+
+    def test_unknown_dirt_reserializes_everything(self):
+        serializer = CachedStateSerializer()
+        state = {"a": 1}
+        serializer.serialize(state, set())
+        state["a"] = 2  # mutated without reporting...
+        out = serializer.serialize(state)  # ...but None = no-information
+        assert out.data == serialize_state(state)
+        assert out.dirty_spans is None
+
+
+class TestDirtyTrackingStore:
+    def test_tracks_writes_deletes_and_marks(self):
+        store = DirtyTrackingStore({"a": 1})
+        assert store.dirty_keys() == {"a"}
+        store.mark_clean()
+        store["b"] = 2
+        del store["a"]
+        store.setdefault("c", 3)
+        store.setdefault("b", 99)  # no-op: must not dirty
+        assert store.dirty_keys() == {"a", "b", "c"}
+        store.mark_clean()
+        store.mark_dirty("b")
+        assert store.dirty_keys() == {"b"}
+        assert dict(store.items()) == {"b": 2, "c": 3}
+
+
+# ---------------------------------------------------------------------------
+# Delta application (shrink handling) and chain verification
+# ---------------------------------------------------------------------------
+
+class TestApplyDelta:
+    def _delta(self, pages, base_pages, snapshot_id=2):
+        changed = {i: p for i, p in enumerate(pages)
+                   if i >= len(base_pages) or base_pages[i] != p}
+        return IncrementalSnapshot(
+            snapshot_id=snapshot_id, execution=ts(1), base_snapshot_id=1,
+            changed_pages=changed, page_count=len(pages),
+            state_root=MerkleTree.root_of(pages), page_size=4)
+
+    def test_shrink_is_verified_not_silently_truncated(self):
+        base = [b"aaaa", b"bbbb", b"cccc", b"dddd"]
+        small = [b"aaaa", b"BB"]
+        delta = self._delta(small, base)
+        assert apply_delta(base, delta) == small
+        # Lying about the page count must be caught by the root check, not
+        # silently accepted.
+        delta.page_count = 3
+        with pytest.raises(SnapshotError):
+            apply_delta(base, delta)
+
+    def test_tampered_page_rejected(self):
+        base = [b"aaaa", b"bbbb"]
+        new = [b"aaaa", b"ZZZZ"]
+        delta = self._delta(new, base)
+        delta.changed_pages[1] = b"QQQQ"
+        with pytest.raises(SnapshotError):
+            apply_delta(base, delta)
+
+    def test_growth_with_missing_pages_rejected(self):
+        base = [b"aaaa"]
+        new = [b"aaaa", b"bbbb", b"cccc"]
+        delta = self._delta(new, base)
+        del delta.changed_pages[1]
+        with pytest.raises(SnapshotError):
+            apply_delta(base, delta)
+
+    def test_out_of_range_page_rejected(self):
+        base = [b"aaaa"]
+        delta = self._delta([b"aaaa"], base)
+        delta.changed_pages[5] = b"zzzz"
+        with pytest.raises(SnapshotError):
+            apply_delta(base, delta)
+
+
+# ---------------------------------------------------------------------------
+# SnapshotManager: keyframes, delta chains, bounded memory
+# ---------------------------------------------------------------------------
+
+class TestSnapshotManagerCow:
+    def test_keyframe_layout(self):
+        manager = SnapshotManager(page_size=32, keyframe_interval=4)
+        for i in range(9):
+            manager.take({"v": i}, ts(i))
+        assert [sid for sid in manager.snapshot_ids()
+                if manager.is_keyframe(sid)] == [1, 5, 9]
+
+    def test_reconstruct_across_keyframe_boundaries_and_eviction(self):
+        rng = random.Random(42)
+        manager = SnapshotManager(page_size=64, keyframe_interval=5,
+                                  materialized_cache=1)
+        state = {"rows": {f"r{i}": "x" * 40 for i in range(30)}, "n": 0}
+        expected = []
+        for step in range(23):
+            state["n"] += 1
+            dirty = {("n",)}
+            name = f"r{rng.randrange(40)}"
+            if name in state["rows"] and rng.random() < 0.4:
+                del state["rows"][name]
+            else:
+                state["rows"][name] = "y" * rng.randrange(0, 90)
+            dirty.add(("rows", name))
+            manager.take(state, ts(step), dirty_paths=dirty)
+            expected.append(json.loads(serialize_state(state)))
+        # every snapshot id, including mid-chain ids materialised after the
+        # tiny LRU evicted them, must reconstruct the exact historical state
+        for snapshot_id in manager.snapshot_ids():
+            assert manager.reconstruct_state(snapshot_id) == \
+                expected[snapshot_id - 1]
+            root = manager.get_incremental(snapshot_id).state_root
+            reference = MerkleTree.root_of(
+                paginate(serialize_state(expected[snapshot_id - 1]), 64))
+            assert root == reference
+
+    def test_corrupted_delta_chain_raises(self):
+        manager = SnapshotManager(page_size=32, keyframe_interval=10,
+                                  materialized_cache=1)
+        state = {"k": "a" * 200}
+        manager.take(state, ts(1))
+        state["k"] = "b" * 200
+        manager.take(state, ts(2), dirty_paths={("k",)})
+        state["k"] = "c" * 150  # shrink
+        victim = manager.take(state, ts(3), dirty_paths={("k",)})
+        state["k"] = "d" * 150
+        manager.take(state, ts(4), dirty_paths={("k",)})  # victim not latest
+        delta = manager.get_incremental(victim.snapshot_id)
+        first = min(delta.changed_pages)
+        delta.changed_pages[first] = b"tampered!" * 3
+        manager.get(2)  # fill + roll the 1-entry LRU so 3 re-materialises
+        with pytest.raises(SnapshotError):
+            manager.reconstruct_state(victim.snapshot_id)
+
+    def test_resident_bytes_bounded(self):
+        manager = SnapshotManager(page_size=256, keyframe_interval=25,
+                                  materialized_cache=2)
+        state = {"blob": {f"b{i}": "z" * 100 for i in range(50)}, "n": 0}
+        state_bytes = len(serialize_state(state))
+        for step in range(200):
+            state["n"] = step
+            state["blob"][f"b{step % 50}"] = "w" * 100
+            manager.take(state, ts(step),
+                         dirty_paths={("n",), ("blob", f"b{step % 50}")})
+        # 200 full snapshots would hold ~200 x state_bytes; the CoW layout
+        # holds 8 keyframes + small deltas + the working copy + the LRU.
+        full_retention = 200 * state_bytes
+        assert manager.resident_bytes() < full_retention / 10
+        assert manager.count == 200
+
+    def test_legacy_take_signature_still_works(self):
+        manager = SnapshotManager(page_size=64)
+        state = {"a": 1, "nested": {"b": [1, 2, 3]}}
+        snapshot = manager.take(state, ts(10))
+        assert snapshot.verify_root()
+        assert manager.reconstruct_state(snapshot.snapshot_id) == state
+
+
+# ---------------------------------------------------------------------------
+# VM + guest dirty tracking feeding the manager
+# ---------------------------------------------------------------------------
+
+def _query(op, table, key, value=None):
+    payload = {"op": op, "table": table, "key": key, "request_id": 1}
+    if value is not None:
+        payload["value"] = value
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class TestVmDirtyTracking:
+    def test_randomized_vm_equivalence(self):
+        rng = random.Random(7)
+        vm = VirtualMachine(make_kvserver_image(),
+                            nondet_source=FixedNondeterminismSource(default=1.0))
+        vm.start()
+        manager = SnapshotManager(page_size=128, keyframe_interval=4,
+                                  materialized_cache=2)
+        expected = []
+        tick = 0
+        for step in range(120):
+            op = rng.choice(("insert", "insert", "update", "delete", "tick"))
+            if op == "tick":
+                tick += 1
+                vm.deliver_event(TimerInterrupt(tick_number=tick))
+            else:
+                table = f"t{rng.randrange(6)}"
+                key = f"k{rng.randrange(20)}"
+                value = "v" * rng.randrange(0, 60)
+                vm.deliver_event(PacketDelivery(
+                    source="client", payload=_query(op, table, key, value),
+                    message_id=f"m{step}"))
+            if step % 5 == 4:
+                view = vm.get_dirty_state()
+                snapshot = manager.take(view.state, vm.execution_timestamp,
+                                        dirty_paths=view.dirty_paths)
+                vm.mark_snapshot_taken()
+                reference_pages = paginate(
+                    serialize_state(vm.get_full_state()), 128)
+                assert snapshot.pages == reference_pages, step
+                assert snapshot.state_root == \
+                    MerkleTree.root_of(reference_pages), step
+                expected.append(json.loads(serialize_state(vm.get_full_state())))
+        for snapshot_id in manager.snapshot_ids():
+            assert manager.reconstruct_state(snapshot_id) == \
+                expected[snapshot_id - 1]
+
+    def test_idle_vm_produces_empty_delta(self):
+        vm = VirtualMachine(make_echo_image(),
+                            nondet_source=FixedNondeterminismSource())
+        vm.start()
+        manager = SnapshotManager(page_size=64)
+        view = vm.get_dirty_state()
+        manager.take(view.state, vm.execution_timestamp,
+                     dirty_paths=view.dirty_paths)
+        vm.mark_snapshot_taken()
+        # No events in between: the second snapshot must ship zero pages.
+        view = vm.get_dirty_state()
+        assert view.dirty_paths == set()
+        second = manager.take(view.state, vm.execution_timestamp,
+                              dirty_paths=view.dirty_paths)
+        assert manager.get_incremental(second.snapshot_id).changed_pages == {}
+
+    def test_replayer_incremental_root_matches(self):
+        # The hasher the replayer now uses must agree with a scratch rebuild
+        # at every snapshot point of a live guest run.
+        vm = VirtualMachine(make_kvserver_image(),
+                            nondet_source=FixedNondeterminismSource(default=2.0))
+        vm.start()
+        hasher = IncrementalStateHasher()
+        for step in range(20):
+            vm.deliver_event(PacketDelivery(
+                source="c", payload=_query("insert", "t0", f"k{step}", "x" * 30),
+                message_id=f"m{step}"))
+            view = vm.get_dirty_state()
+            _, _, root = hasher.update(view.state, view.dirty_paths)
+            vm.mark_snapshot_taken()
+            assert root == MerkleTree.root_of(
+                paginate(serialize_state(vm.get_full_state())))
+
+
+# ---------------------------------------------------------------------------
+# Archive delta chains
+# ---------------------------------------------------------------------------
+
+def _ship_all(manager, service, machine="m"):
+    for snapshot_id in manager.snapshot_ids():
+        payload = manager.ship_payload(snapshot_id)
+        service.on_message(NetworkMessage(
+            source=machine, destination=service.identity,
+            payload=json.dumps(payload, sort_keys=True).encode("utf-8"),
+            kind=MessageKind.ARCHIVE_SNAPSHOT))
+
+
+class TestArchiveDeltaChain:
+    def _manager_with_history(self, steps=9):
+        manager = SnapshotManager(page_size=64, keyframe_interval=4)
+        state = {"rows": {f"r{i}": "x" * 30 for i in range(12)}, "n": 0}
+        states = []
+        for step in range(steps):
+            state["n"] = step
+            state["rows"][f"r{step % 14}"] = "y" * (10 + step)
+            manager.take(state, ts(step),
+                         dirty_paths={("n",), ("rows", f"r{step % 14}")})
+            states.append(json.loads(serialize_state(state)))
+        return manager, states
+
+    def test_shipped_deltas_materialise_identically(self, tmp_path):
+        manager, states = self._manager_with_history()
+        archive = LogArchive(tmp_path / "a")
+        service = AuditIngestService(archive)
+        _ship_all(manager, service)
+        assert not service.quarantine
+        store = archive.snapshot_store("m")
+        assert store.snapshot_ids() == manager.snapshot_ids()
+        for snapshot_id in manager.snapshot_ids():
+            restored = archive.load_snapshot("m", snapshot_id)
+            assert restored.state == states[snapshot_id - 1]
+            assert restored.verify_root()
+            assert store.transfer_cost_bytes(snapshot_id) == \
+                manager.transfer_cost_bytes(snapshot_id)
+        # deltas survive a reopen from the manifest
+        reopened = LogArchive(tmp_path / "a")
+        assert reopened.recovery.clean
+        assert reopened.load_snapshot("m", 7).state == states[6]
+
+    def test_delta_without_base_quarantined(self, tmp_path):
+        manager, _ = self._manager_with_history()
+        service = AuditIngestService(LogArchive(tmp_path / "a"))
+        payload = manager.ship_payload(6)  # delta; base 5 never shipped
+        service.on_message(NetworkMessage(
+            source="m", destination=service.identity,
+            payload=json.dumps(payload, sort_keys=True).encode("utf-8"),
+            kind=MessageKind.ARCHIVE_SNAPSHOT))
+        assert len(service.quarantine) == 1
+        assert "base" in service.quarantine[0].reason
+
+    def test_corrupt_delta_file_detected(self, tmp_path):
+        manager, _ = self._manager_with_history()
+        archive = LogArchive(tmp_path / "a")
+        service = AuditIngestService(archive)
+        _ship_all(manager, service)
+        record = archive._snapshot_index["m"][6]  # noqa: SLF001 - test hook
+        assert record.kind == "delta"
+        path = archive.root / record.file_name
+        payload = json.loads(path.read_text("utf-8"))
+        first = sorted(payload["changed_pages"])[0]
+        payload["changed_pages"][first] = b"EVIL".hex()
+        path.write_text(json.dumps(payload), "utf-8")
+        with pytest.raises((SnapshotError, ArchiveIntegrityError)):
+            archive.load_snapshot("m", 7)
+
+    def test_truncation_boundary_becomes_keyframe(self, tmp_path):
+        from repro.log.entries import EntryType, snapshot_content
+        from repro.log.tamper_evident import TamperEvidentLog
+
+        manager, states = self._manager_with_history(steps=3)
+        log = TamperEvidentLog("m")
+        for snapshot_id in (1, 2, 3):
+            log.append(EntryType.TIMETRACKER, {
+                "event_kind": "clock_read", "execution_counter": snapshot_id,
+                "branch_counter": 0, "value": 0.5})
+            delta = manager.get_incremental(snapshot_id)
+            log.append(EntryType.SNAPSHOT, snapshot_content(
+                snapshot_id, delta.state_root, snapshot_id))
+        archive = LogArchive(tmp_path / "a")
+        service = AuditIngestService(archive)
+        _ship_all(manager, service)
+        for segment in log.segments_between_snapshots():
+            seals = segment.entries_of_type(EntryType.SNAPSHOT)
+            sealed = int(seals[-1].content["snapshot_id"]) \
+                if seals and seals[-1] is segment.entries[-1] else None
+            archive.append_segment(segment, sealed_by_snapshot=sealed)
+
+        assert archive._snapshot_index["m"][2].kind == "delta"  # noqa: SLF001
+        checkpoint = archive.truncate("m", log.entry_at(4).sequence)
+        assert checkpoint.sequence == 4
+        record = archive._snapshot_index["m"][2]  # noqa: SLF001
+        assert record.kind == "keyframe"
+        assert sorted(archive._snapshot_index["m"]) == [2, 3]  # noqa: SLF001
+        # both survivors still materialise and verify after reopening
+        reopened = LogArchive(tmp_path / "a")
+        assert reopened.recovery.clean
+        for snapshot_id, expected in ((2, states[1]), (3, states[2])):
+            snapshot = reopened.load_snapshot("m", snapshot_id)
+            assert snapshot.state == expected
+            assert snapshot.verify_root()
+        state, transfer = reopened.initial_state_for("m")
+        assert state == states[1]
+        assert transfer == manager.transfer_cost_bytes(2)
+
+
+# ---------------------------------------------------------------------------
+# Monitor integration: picklable log clock, CoW snapshot tick, delta shipping
+# ---------------------------------------------------------------------------
+
+def _build_monitor(snapshot_interval=1.0):
+    scheduler = Scheduler()
+    config = AvmmConfig.for_configuration(Configuration.AVMM_NOSIG,
+                                          snapshot_interval=snapshot_interval)
+    monitor = AccountableVMM("kv", make_kvserver_image(), config, scheduler)
+    return scheduler, monitor
+
+
+def _build_shipping_monitor(tmp_path, snapshot_interval=1.0):
+    from repro.network.simnet import SimulatedNetwork
+
+    scheduler = Scheduler()
+    network = SimulatedNetwork(scheduler)
+    config = AvmmConfig.for_configuration(Configuration.AVMM_NOSIG,
+                                          snapshot_interval=snapshot_interval)
+    monitor = AccountableVMM("kv", make_kvserver_image(), config, scheduler,
+                             network=network)
+    archive = LogArchive(tmp_path / "archive")
+    service = AuditIngestService(archive, network=network)
+    return scheduler, network, monitor, service
+
+
+class TestMonitorIntegration:
+    def test_log_clock_is_picklable_and_reads_scheduler_time(self):
+        scheduler, monitor = _build_monitor()
+        scheduler.clock.advance_to(12.5)
+        entry = monitor.log.append(
+            __import__("repro.log.entries", fromlist=["EntryType"]).EntryType.NONDET,
+            {"event_kind": "probe", "execution_counter": 0, "data": {}})
+        assert entry.timestamp == 12.5
+        clone = pickle.loads(pickle.dumps(monitor.log))
+        assert len(clone) == len(monitor.log)
+        assert clone.entries[-1].timestamp == 12.5
+
+    def test_snapshot_tick_uses_cow_and_charges_dirty_bytes(self):
+        scheduler, monitor = _build_monitor()
+        monitor.start()
+        scheduler.run_until(3.1)
+        monitor.stop()
+        assert monitor.snapshots.count >= 3
+        first = monitor.snapshots.get_incremental(1)
+        later = monitor.snapshots.get_incremental(monitor.snapshots.count)
+        # after the first (full) snapshot, deltas must be much smaller than
+        # the whole paginated state
+        assert later.incremental_bytes < sum(
+            len(p) for p in monitor.snapshots.get(1).pages) or \
+            later.page_count == 1
+        assert first.base_snapshot_id is None
+        assert monitor.stats.vmm_cpu_seconds > 0
+        # roots logged in the tamper-evident stream match the managers' roots
+        from repro.log.entries import EntryType
+        seals = [e for e in monitor.log if e.entry_type is EntryType.SNAPSHOT]
+        assert len(seals) == monitor.snapshots.count
+        for entry in seals:
+            snapshot_id = int(entry.content["snapshot_id"])
+            assert entry.content["state_root"] == \
+                monitor.snapshots.get_incremental(snapshot_id).state_root.hex()
+
+    def test_partial_snapshot_queue_drain_counts_as_progress(self, tmp_path):
+        """A lossy link that lets only one queued snapshot through per round
+        must read as progress, or the drain loop gives up spuriously."""
+        scheduler, network, monitor, service = _build_shipping_monitor(tmp_path)
+        monitor.attach_archive_shipper(service.identity)
+        monitor.start()
+        network.partition("kv", service.identity)
+        scheduler.run_until(3.1)  # 3 snapshots, every shipment dropped
+        monitor.stop()
+        assert len(monitor._pending_snapshot_ships) == 3  # noqa: SLF001
+        network.heal_partition("kv", service.identity)
+
+        # Let exactly one send through, then drop everything again.
+        original_send = network.send
+        budget = {"left": 1}
+
+        def flaky_send(message):
+            if budget["left"] <= 0:
+                return False
+            budget["left"] -= 1
+            return original_send(message)
+
+        network.send = flaky_send
+        assert monitor.ship_archive_tail()  # one snapshot shipped = progress
+        assert len(monitor._pending_snapshot_ships) == 2  # noqa: SLF001
+        assert not monitor.archive_shipping_complete
+
+        network.send = original_send
+        while not monitor.archive_shipping_complete:
+            monitor.ship_archive_tail()
+        scheduler.run_until(scheduler.clock.now + 1.0)
+        assert not service.quarantine
+        assert service.archive.snapshot_store("kv").snapshot_ids() == \
+            monitor.snapshots.snapshot_ids()
+
+    def test_mid_run_attach_ships_keyframe_anchor(self, tmp_path):
+        """Attaching the shipper after snapshots already exist must anchor
+        the archive with a full keyframe, not an unusable dangling delta."""
+        scheduler, network, monitor, service = _build_shipping_monitor(tmp_path)
+        monitor.start()
+        scheduler.run_until(2.1)  # snapshots 1..2 taken, nothing shipped
+        assert monitor.snapshots.count == 2
+        monitor.attach_archive_shipper(service.identity)
+        scheduler.run_until(4.1)  # snapshots 3..4 ship on their ticks
+        monitor.stop()
+        assert not service.quarantine
+        store = service.archive.snapshot_store("kv")
+        assert store.snapshot_ids() == [3, 4]
+        index = service.archive._snapshot_index["kv"]  # noqa: SLF001
+        assert index[3].kind == "keyframe"  # forced anchor (3 is not a
+        assert index[4].kind == "delta"     # manager keyframe; 4 bases on 3)
+        for snapshot_id in (3, 4):
+            restored = service.archive.load_snapshot("kv", snapshot_id)
+            assert restored.verify_root()
+            assert restored.state == \
+                monitor.snapshots.reconstruct_state(snapshot_id)
