@@ -1,0 +1,54 @@
+"""Adversary scenario matrix — every misbehavior detected, nobody framed.
+
+Runs the Byzantine scenario matrix (:mod:`repro.adversary.matrix`): each
+cell records a small fleet with one adversary from the catalog, audits it in
+the cell's mode (full / spot / online / archive), and checks the paper's
+claim end to end — misbehavior detected, evidence independently verifiable,
+honest machines never accused.  Smoke mode runs the one-cell-per-adversary
+kv subset (the CI gate); the default adds game-workload cells for the
+second workload axis.  The full {adversary x workload x mode x fleet-size}
+grid runs as the slow-marked test in ``tests/test_adversary_matrix.py``.
+"""
+
+from _bench_utils import scaled
+
+from repro.adversary.matrix import CellSpec, ScenarioMatrix
+
+
+def _cells(matrix: ScenarioMatrix, include_game: bool):
+    cells = matrix.smoke_cells()
+    if include_game:
+        seed = matrix.base_seed + 500
+        for index, (adversary, mode) in enumerate([
+                ("honest", "full"),
+                ("cheating-guest", "full"),
+                ("tamper-modify", "spot"),
+                ("hidden-nondeterminism", "online"),
+                ("lying-shipper-segments", "archive"),
+                ("equivocating-peer", "full")]):
+            cells.append(CellSpec(adversary, "game", mode, 3, seed + index))
+    return cells
+
+
+def test_adversary_matrix_detection(benchmark):
+    matrix = ScenarioMatrix()
+    cells = _cells(matrix, include_game=scaled(True, False))
+    report = benchmark.pedantic(matrix.run, args=(cells,),
+                                rounds=1, iterations=1)
+    print()
+    print(f"{'cell':<58} {'detected':>8} {'verdict':>10} {'evidence':>8}")
+    for cell in report.cells:
+        print(f"{cell.spec.label():<58} {str(cell.detected):>8} "
+              f"{cell.verdict or '-':>10} "
+              f"{'ok' if cell.evidence_verified else 'BAD':>8}")
+    # The acceptance criteria of the matrix, at benchmark scale:
+    # every misbehaving cell detected, with verifiable evidence...
+    assert report.detection_rate == 1.0
+    assert report.all_evidence_verified
+    # ...and not a single honest machine (or honest control cell) accused.
+    assert report.false_accusation_count == 0
+    assert all(not cell.detected for cell in report.honest_cells)
+    assert report.ok
+    # The subset still spans the adversary catalog and >= 2 audit modes.
+    assert len(report.adversaries()) >= 7
+    assert len({cell.spec.mode for cell in report.cells}) >= 2

@@ -1,0 +1,39 @@
+"""Patched guest images for non-game workloads.
+
+The game workload has a whole cheat catalog (:mod:`repro.game.cheats`); the
+hosted-database workload gets its equivalent here: a kv server whose query
+engine quietly sweetens results.  The patched image's behaviour — not its
+label — is what convicts it: replaying the recorded queries against the
+*reference* image produces different response packets, so the semantic check
+diverges on the first sweetened row.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.vm.image import VMImage
+from repro.workloads.kvstore import KvServerGuest
+
+
+class CheatingKvServerGuest(KvServerGuest):
+    """A kv server that returns sweetened rows on SELECT."""
+
+    name = "kv-server-sweetened"
+
+    def execute(self, query: Dict[str, Any]) -> Any:
+        result = super().execute(query)
+        if query.get("op") == "select" and isinstance(result, dict):
+            row = result.get("row")
+            if row is not None:
+                boosted = dict(row) if isinstance(row, dict) else {"value": row}
+                boosted["sweetened"] = True
+                return {"row": boosted}
+        return result
+
+
+def make_cheating_kvserver_image(name: str = "kv-server-sweetened") -> VMImage:
+    """The patched server image a byzantine operator installs."""
+    return VMImage(name=name, guest_factory=CheatingKvServerGuest,
+                   disk_blocks={0: b"mysql-5.0.51-standin",
+                                66: b"patch-module:row-sweetener"})

@@ -1,0 +1,197 @@
+"""Log- and snapshot-tampering adversaries (the paper's "Bob rewrites history").
+
+:class:`TamperingVMM` is the toolkit: it wraps one real monitor and exposes
+deterministic tampering operations over its tamper-evident log and snapshot
+store.  The adversary classes below compose it into the canonical attacks:
+
+* **modify** — rewrite an entry's content and recompute the chain: the log is
+  internally consistent but collides with authenticators peers already hold;
+* **remove** — drop an entry and renumber the suffix: the presented log is
+  well-formed but the chain breaks at the removal point;
+* **reorder** — swap two entries in place: neither hashes to its recorded
+  chain value any more;
+* **forge** — insert a fabricated entry mid-log and recompute onward;
+* **fork** — truncate at a chosen point and grow an alternate suffix (the
+  hash-chain fork of Section 4.3);
+* **snapshot mutation** — serve a snapshot whose pages no longer match the
+  hash-tree root recorded in the log (caught when a spot check downloads the
+  chunk-boundary snapshot, Section 4.5 "Verifying the snapshot").
+
+All of them are caught by the tamper check: either the chain fails to verify
+or it fails to match a signed authenticator — and the resulting evidence
+convinces any third party holding the public keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.adversary.base import Adversary, ScenarioContext
+from repro.audit.verdict import AuditPhase
+from repro.avmm.monitor import AccountableVMM
+from repro.log.entries import EntryType
+
+
+class TamperingVMM:
+    """Deterministic tampering operations over a real monitor's state."""
+
+    def __init__(self, monitor: AccountableVMM, rng: random.Random) -> None:
+        self.monitor = monitor
+        self.rng = rng
+
+    # -- log tampering ------------------------------------------------------
+
+    def modify_entry(self, sequence: int) -> None:
+        """Rewrite one entry's content, recomputing the chain onward."""
+        entry = self.monitor.log.entry_at(sequence)
+        tampered = {**entry.content, "tampered": self.rng.randrange(1 << 30)}
+        self.monitor.log.tamper_replace_entry(sequence, tampered,
+                                              recompute_chain=True)
+
+    def remove_entry(self, sequence: int) -> None:
+        """Remove one entry, renumbering the suffix to hide the gap."""
+        self.monitor.log.tamper_remove_entry(sequence)
+
+    def swap_entries(self, sequence: int) -> None:
+        """Swap the entry with its successor (reordering attack)."""
+        self.monitor.log.tamper_swap_entries(sequence, sequence + 1)
+
+    def forge_entry(self, after_sequence: int) -> None:
+        """Insert a fabricated input record and recompute the chain onward."""
+        self.monitor.log.tamper_insert_entry(
+            after_sequence, EntryType.ANNOTATION,
+            {"forged": True, "nonce": self.rng.randrange(1 << 30)})
+
+    def fork_chain(self, at_sequence: int) -> int:
+        """Abandon the suffix from ``at_sequence`` and grow an alternate one.
+
+        The forked history has the same length as the original (so the log
+        still *looks* complete) but every entry from the fork point on is an
+        annotation the reference execution never produced.  Returns the
+        number of alternate entries appended.
+        """
+        log = self.monitor.log
+        original_length = len(log)
+        log.tamper_truncate(at_sequence - 1)
+        appended = original_length - at_sequence + 1
+        for index in range(appended):
+            log.append(EntryType.ANNOTATION,
+                       {"fork": index, "nonce": self.rng.randrange(1 << 30)})
+        return appended
+
+    # -- snapshot tampering -------------------------------------------------
+
+    def corrupt_snapshot_pages(self) -> Optional[int]:
+        """Flip a byte in the stored pages of the earliest keyframe snapshot.
+
+        Every snapshot the machine serves afterwards is materialised from
+        that keyframe, so any chunk-boundary download fails hash-tree
+        verification against the root recorded in the log.  Returns the
+        mutated snapshot id, or ``None`` if no snapshot was ever taken.
+        """
+        manager = self.monitor.snapshots
+        keyframes = manager._keyframes  # noqa: SLF001 - Bob owns this machine
+        if not keyframes:
+            return None
+        snapshot_id = min(keyframes)
+        pages = keyframes[snapshot_id]
+        page_index = self.rng.randrange(len(pages))
+        page = bytearray(pages[page_index])
+        byte_index = self.rng.randrange(len(page))
+        page[byte_index] ^= 1 << self.rng.randrange(8)
+        pages[page_index] = bytes(page)
+        manager._materialized.clear()  # noqa: SLF001 - drop cached clean copies
+        return snapshot_id
+
+
+class _LogTamperAdversary(Adversary):
+    """Shared shape of the after-the-fact log tamperers."""
+
+    modes = ("full", "spot")
+    expected_phases = (AuditPhase.AUTHENTICATOR_CHECK,)
+
+    def corrupt(self, ctx: ScenarioContext) -> None:
+        vmm = TamperingVMM(ctx.monitor, self.rng)
+        self.apply(vmm, ctx)
+
+    def apply(self, vmm: TamperingVMM, ctx: ScenarioContext) -> None:
+        raise NotImplementedError
+
+
+class LogModifyAdversary(_LogTamperAdversary):
+    """Rewrites a committed entry and recomputes the chain (covering rewrite)."""
+
+    name = "tamper-modify"
+    description = "rewrite a committed entry, recompute the chain onward"
+
+    def apply(self, vmm: TamperingVMM, ctx: ScenarioContext) -> None:
+        vmm.modify_entry(self.pick_committed_sequence(ctx))
+
+
+class LogRemoveAdversary(_LogTamperAdversary):
+    """Deletes a mid-log entry and renumbers to hide the gap."""
+
+    name = "tamper-remove"
+    description = "delete an entry, renumber the suffix to hide the gap"
+
+    def apply(self, vmm: TamperingVMM, ctx: ScenarioContext) -> None:
+        # Any interior entry works: the chain breaks at the splice point.
+        sequence = self.pick_committed_sequence(ctx)
+        vmm.remove_entry(max(2, sequence - 1))
+
+
+class LogReorderAdversary(_LogTamperAdversary):
+    """Swaps two adjacent entries in place."""
+
+    name = "tamper-reorder"
+    description = "swap two adjacent entries in place"
+
+    def apply(self, vmm: TamperingVMM, ctx: ScenarioContext) -> None:
+        sequence = self.pick_committed_sequence(ctx)
+        vmm.swap_entries(min(sequence, len(ctx.monitor.log) - 1))
+
+
+class LogForgeAdversary(_LogTamperAdversary):
+    """Inserts a fabricated entry mid-log and recomputes the chain onward."""
+
+    name = "tamper-forge"
+    description = "insert a fabricated entry, recompute the chain onward"
+
+    def apply(self, vmm: TamperingVMM, ctx: ScenarioContext) -> None:
+        # Insert *before* a committed sequence so the shifted suffix collides
+        # with at least one authenticator a peer holds.
+        sequence = self.pick_committed_sequence(ctx)
+        vmm.forge_entry(max(1, sequence - 1))
+
+
+class ChainForkAdversary(_LogTamperAdversary):
+    """Forks the hash chain at a chosen point and presents the new branch."""
+
+    name = "chain-fork"
+    description = "truncate at a committed point, grow an alternate history"
+
+    def apply(self, vmm: TamperingVMM, ctx: ScenarioContext) -> None:
+        vmm.fork_chain(self.pick_committed_sequence(ctx))
+
+
+class SnapshotMutationAdversary(Adversary):
+    """Serves snapshot pages that no longer match the logged hash-tree root.
+
+    Only a spot check actually *downloads* a snapshot from the machine (a
+    full audit replays from the start and never needs one), so this is the
+    one adversary whose observability is genuinely mode-dependent.  The
+    machine cannot produce a verifiable snapshot when challenged, so the
+    auditor suspects it (Section 4.5's unanswered-challenge path).
+    """
+
+    name = "snapshot-mutation"
+    description = "mutate stored snapshot pages under the logged hash-tree root"
+    modes = ("spot",)
+    expected_phases = ()
+
+    def corrupt(self, ctx: ScenarioContext) -> None:
+        mutated = TamperingVMM(ctx.monitor, self.rng).corrupt_snapshot_pages()
+        if mutated is None:
+            raise RuntimeError("scenario recorded no snapshots to mutate")
+        ctx.notes["mutated_snapshot"] = mutated

@@ -24,7 +24,7 @@ from repro.audit.syntactic import SyntacticChecker
 from repro.audit.verdict import AuditCost, AuditPhase, AuditResult, Verdict
 from repro.avmm.monitor import AccountableVMM
 from repro.crypto.keys import KeyStore
-from repro.errors import AuthenticatorMismatchError, HashChainError
+from repro.errors import AuditError, AuthenticatorMismatchError, HashChainError
 from repro.log.authenticator import Authenticator
 from repro.log.compression import VmmLogCompressor
 from repro.log.segments import LogSegment
@@ -111,6 +111,13 @@ class Auditor:
                       initial_state: Optional[Dict[str, Any]] = None,
                       snapshot_bytes: int = 0) -> AuditResult:
         """Audit a log segment that has already been downloaded."""
+        if segment.machine != machine:
+            # A segment claiming another identity would sidestep every
+            # authenticator check (none would apply) and could replay
+            # cleanly; refusing it is an operational error, not a verdict.
+            raise AuditError(
+                f"segment claims to be from {segment.machine!r}, "
+                f"but the audit target is {machine!r}")
         cost = self._download_cost(segment, snapshot_bytes)
         authenticators = self.authenticators_for(machine)
 

@@ -68,7 +68,10 @@ class LogTamperingAdversary:
     """Rewrites or drops entries in the machine's own log after the fact.
 
     Caught by the authenticator check: the hash chain no longer matches the
-    authenticators the machine previously sent to its peers.
+    authenticators the machine previously sent to its peers.  The richer,
+    seeded tampering toolkit (reorder, forge, fork, snapshot mutation) lives
+    in :class:`repro.adversary.tampering.TamperingVMM`; this class remains
+    the simple two-operation surface the game examples use.
     """
 
     def __init__(self, monitor: AccountableVMM) -> None:

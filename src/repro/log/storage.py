@@ -37,7 +37,10 @@ def segment_to_bytes(segment: LogSegment) -> bytes:
 
 def segment_from_bytes(data: bytes) -> LogSegment:
     """Parse a segment previously produced by :func:`segment_to_bytes`."""
-    lines = data.decode("utf-8").splitlines()
+    try:
+        lines = data.decode("utf-8").splitlines()
+    except UnicodeDecodeError as exc:
+        raise LogFormatError(f"segment data is not valid UTF-8: {exc}") from exc
     if not lines:
         raise LogFormatError("empty segment data")
     header = parse_segment_header(lines[0])
@@ -133,7 +136,11 @@ def authenticators_to_bytes(authenticators: Iterable[Authenticator]) -> bytes:
 
 def authenticators_from_bytes(data: bytes) -> List[Authenticator]:
     """Parse authenticators serialised by :func:`authenticators_to_bytes`."""
-    lines = data.decode("utf-8").splitlines()
+    try:
+        lines = data.decode("utf-8").splitlines()
+    except UnicodeDecodeError as exc:
+        raise LogFormatError(
+            f"authenticator data is not valid UTF-8: {exc}") from exc
     if not lines:
         raise LogFormatError("empty authenticator data")
     try:

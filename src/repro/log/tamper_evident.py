@@ -241,3 +241,79 @@ class TamperEvidentLog:
         if index < 0 or index >= len(self._entries):
             raise SegmentError(f"no log entry with sequence {sequence}")
         del self._entries[index]
+
+    def tamper_remove_entry(self, sequence: int) -> None:
+        """Remove an entry and renumber the suffix to hide the gap.
+
+        The machine presents a log whose sequence numbers are dense again,
+        but the renumbered entries keep their original hashes — so the chain
+        no longer verifies at the removal point.  (Contrast with
+        :meth:`tamper_drop_entry`, which leaves the numbering gap and makes
+        the machine unable to even *produce* a well-formed segment.)
+        """
+        index = sequence - 1
+        if index < 0 or index >= len(self._entries):
+            raise SegmentError(f"no log entry with sequence {sequence}")
+        del self._entries[index]
+        for i in range(index, len(self._entries)):
+            old = self._entries[i]
+            self._entries[i] = LogEntry(
+                sequence=old.sequence - 1, entry_type=old.entry_type,
+                content=old.content, chain_hash=old.chain_hash,
+                previous_hash=old.previous_hash, timestamp=old.timestamp)
+        self._next_sequence -= 1
+
+    def tamper_swap_entries(self, sequence_a: int, sequence_b: int) -> None:
+        """Swap two entries' payloads in place (reordering attack).
+
+        The entries trade type, content and hashes but keep their positions'
+        sequence numbers, so the log still *looks* well-formed; the chain
+        breaks at both positions because neither entry hashes to its
+        recorded chain value any more.
+        """
+        for sequence in (sequence_a, sequence_b):
+            if sequence < 1 or sequence > len(self._entries):
+                raise SegmentError(f"no log entry with sequence {sequence}")
+        ia, ib = sequence_a - 1, sequence_b - 1
+        a, b = self._entries[ia], self._entries[ib]
+        self._entries[ia] = LogEntry(
+            sequence=a.sequence, entry_type=b.entry_type, content=b.content,
+            chain_hash=b.chain_hash, previous_hash=b.previous_hash,
+            timestamp=a.timestamp)
+        self._entries[ib] = LogEntry(
+            sequence=b.sequence, entry_type=a.entry_type, content=a.content,
+            chain_hash=a.chain_hash, previous_hash=a.previous_hash,
+            timestamp=b.timestamp)
+
+    def tamper_insert_entry(self, after_sequence: int, entry_type: EntryType,
+                            content: Dict[str, Any]) -> None:
+        """Insert a forged entry and recompute the chain from there onward.
+
+        The presented chain is internally consistent, but every entry from
+        the insertion point on hashes differently — any authenticator a peer
+        holds for those sequence numbers exposes the forgery.
+        """
+        if after_sequence < 0 or after_sequence > len(self._entries):
+            raise SegmentError(f"no log entry with sequence {after_sequence}")
+        suffix = self._entries[after_sequence:]
+        del self._entries[after_sequence:]
+        self._current_hash = (self._entries[-1].chain_hash if self._entries
+                              else hashing.ZERO_HASH)
+        self._next_sequence = after_sequence + 1
+        self.append(entry_type, content)
+        for old in suffix:
+            self.append(old.entry_type, old.content)
+
+    def tamper_truncate(self, after_sequence: int) -> None:
+        """Discard every entry after ``after_sequence`` (history rewriting).
+
+        Used by fork adversaries: truncate, then append an alternate suffix
+        with :meth:`append` — the forked chain is self-consistent but no
+        longer matches authenticators issued on the abandoned branch.
+        """
+        if after_sequence < 0 or after_sequence > len(self._entries):
+            raise SegmentError(f"no log entry with sequence {after_sequence}")
+        del self._entries[after_sequence:]
+        self._current_hash = (self._entries[-1].chain_hash if self._entries
+                              else hashing.ZERO_HASH)
+        self._next_sequence = after_sequence + 1

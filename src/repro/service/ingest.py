@@ -27,7 +27,8 @@ check uses for a mid-log chunk.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.audit.auditor import Auditor
@@ -61,12 +62,30 @@ class IngestStats:
 
 @dataclass
 class QuarantinedShipment:
-    """A shipment the archive refused (chain break, fork, or garbage)."""
+    """A shipment the archive refused (chain break, fork, or garbage).
+
+    Quarantine records are themselves evidence — they name the machine whose
+    shipment could not be reconciled with its archived hash chain — so the
+    service persists them next to the archive (``quarantine.jsonl``) and
+    reloads them on recovery; a crash between ingest and audit cannot
+    launder a rejected shipment.
+    """
 
     machine: str
     reason: str
     first_sequence: int = 0
     last_sequence: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "QuarantinedShipment":
+        return QuarantinedShipment(
+            machine=str(data.get("machine", "")),
+            reason=str(data.get("reason", "")),
+            first_sequence=int(data.get("first_sequence", 0) or 0),
+            last_sequence=int(data.get("last_sequence", 0) or 0))
 
 
 class AuditIngestService:
@@ -79,7 +98,8 @@ class AuditIngestService:
         self.identity = identity
         self.network = network
         self.stats = IngestStats()
-        self.quarantine: List[QuarantinedShipment] = []
+        self._quarantine_path = Path(archive.root) / "quarantine.jsonl"
+        self.quarantine: List[QuarantinedShipment] = self._load_quarantine()
         self._compressor = VmmLogCompressor()
         #: machines with archived-but-unaudited segments, with segment counts
         self._pending: Dict[str, int] = {}
@@ -108,12 +128,12 @@ class AuditIngestService:
             # ValueError on structurally wrong JSON — all quarantine, never
             # crash the delivery callback.
             self.stats.segments_rejected += 1
-            self.quarantine.append(QuarantinedShipment(
+            self._record_quarantine(QuarantinedShipment(
                 machine=message.source, reason=f"undecodable segment: {exc}"))
             return
         if segment.machine != message.source:
             self.stats.segments_rejected += 1
-            self.quarantine.append(QuarantinedShipment(
+            self._record_quarantine(QuarantinedShipment(
                 machine=message.source,
                 reason=f"shipment claims to be from {segment.machine!r}"))
             return
@@ -126,7 +146,7 @@ class AuditIngestService:
         try:
             batch = authenticators_from_bytes(message.payload)
         except (LogFormatError, ValueError, KeyError, TypeError) as exc:
-            self.quarantine.append(QuarantinedShipment(
+            self._record_quarantine(QuarantinedShipment(
                 machine=message.source,
                 reason=f"undecodable authenticator batch: {exc}"))
             return
@@ -165,9 +185,39 @@ class AuditIngestService:
             # SnapshotError covers a delta whose base never arrived (e.g. a
             # lossy link dropped it): unusable, so quarantined — the source
             # re-ships the chain in order and the archive stays hole-free.
-            self.quarantine.append(QuarantinedShipment(
+            self._record_quarantine(QuarantinedShipment(
                 machine=message.source,
                 reason=f"undecodable snapshot: {exc}"))
+
+    # -- quarantine persistence ----------------------------------------------
+
+    def _record_quarantine(self, shipment: QuarantinedShipment) -> None:
+        """Remember a refused shipment, durably."""
+        self.quarantine.append(shipment)
+        with self._quarantine_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(shipment.to_dict(), sort_keys=True) + "\n")
+
+    def _load_quarantine(self) -> List[QuarantinedShipment]:
+        """Reload quarantine records persisted by a previous incarnation."""
+        if not self._quarantine_path.exists():
+            return []
+        records: List[QuarantinedShipment] = []
+        for line in self._quarantine_path.read_text("utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(QuarantinedShipment.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError, TypeError):
+                continue  # a torn tail write loses one record, not the file
+        return records
+
+    def quarantined_machines(self) -> List[str]:
+        """Machines with at least one quarantined shipment."""
+        return sorted({shipment.machine for shipment in self.quarantine})
+
+    def quarantine_for(self, machine: str) -> List[QuarantinedShipment]:
+        return [shipment for shipment in self.quarantine
+                if shipment.machine == machine]
 
     # -- direct ingestion (network-free path, also used by the handlers) -----
 
@@ -181,7 +231,7 @@ class AuditIngestService:
             self.stats.segments_rejected += 1
             first = segment.entries[0].sequence if segment.entries else 0
             last = segment.entries[-1].sequence if segment.entries else 0
-            self.quarantine.append(QuarantinedShipment(
+            self._record_quarantine(QuarantinedShipment(
                 machine=segment.machine, reason=str(exc),
                 first_sequence=first, last_sequence=last))
             return False

@@ -1,0 +1,233 @@
+"""Property-based (seeded) bit-flip fuzzing of the tamper-evident envelope.
+
+The paper's integrity story rests on two serialised artefacts: log entries
+(hash-chained, checked against authenticators) and authenticators (signed
+commitments).  These tests flip single bits in the serialised forms and
+assert that *every* mutation either
+
+* fails to parse with :class:`~repro.errors.LogFormatError`, or
+* fails verification with the right error class
+  (:class:`~repro.errors.HashChainError` /
+  :class:`~repro.errors.AuthenticatorMismatchError` for segments, a False
+  verdict or a :class:`~repro.errors.CryptoError` for authenticators), or
+* provably changed nothing that the tamper-evident envelope covers (the
+  only such field is the bookkeeping timestamp, which the paper keeps out
+  of the hash chain by design — TimeTracker entries carry the real timing).
+
+No new dependencies: plain ``random.Random`` with fixed seeds.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import hashing
+from repro.errors import (
+    AuthenticatorMismatchError,
+    CryptoError,
+    HashChainError,
+    LogFormatError,
+)
+from repro.log.authenticator import Authenticator, batch_verify_authenticators
+from repro.log.entries import EntryType
+from repro.log.storage import (
+    authenticators_from_bytes,
+    authenticators_to_bytes,
+    segment_from_bytes,
+    segment_to_bytes,
+)
+from repro.log.tamper_evident import TamperEvidentLog
+
+TRIALS = 200
+
+
+def _flip_bit(data: bytes, rng: random.Random) -> bytes:
+    mutated = bytearray(data)
+    index = rng.randrange(len(mutated))
+    mutated[index] ^= 1 << rng.randrange(8)
+    return bytes(mutated)
+
+
+@pytest.fixture(scope="module")
+def recorded(ca):
+    """A small signed log plus an authenticator for every entry."""
+    keypair = ca.issue("fuzz-machine")
+    log = TamperEvidentLog("fuzz-machine", keypair=keypair,
+                           clock=lambda: 12.25)
+    rng = random.Random(0xF00D)
+    authenticators = []
+    for index in range(24):
+        entry_type = rng.choice([EntryType.SEND, EntryType.RECV,
+                                 EntryType.ACK, EntryType.TIMETRACKER])
+        entry, auth = log.append_with_authenticator(entry_type, {
+            "index": index,
+            "payload_hash": hashing.hash_bytes(bytes([index])).hex(),
+            "value": rng.random(),
+        })
+        authenticators.append(auth)
+    return log, authenticators, keypair
+
+
+@pytest.fixture(scope="module")
+def fuzz_keystore(ca, keystore, recorded):
+    _, _, keypair = recorded
+    keystore.add_certificate(keypair.certificate)
+    return keystore
+
+
+def _entries_equal_modulo_timestamp(original, mutated) -> bool:
+    """The authenticated projection of every entry (and the header) matches."""
+    if original.machine != mutated.machine:
+        return False
+    if original.start_hash != mutated.start_hash:
+        return False
+    if len(original.entries) != len(mutated.entries):
+        return False
+    for ours, theirs in zip(original.entries, mutated.entries):
+        if (ours.sequence, ours.entry_type, ours.content,
+                ours.chain_hash, ours.previous_hash) != \
+                (theirs.sequence, theirs.entry_type, theirs.content,
+                 theirs.chain_hash, theirs.previous_hash):
+            return False
+    return True
+
+
+class TestSegmentBitFlips:
+    def test_any_single_bit_flip_is_detected_or_outside_the_envelope(
+            self, recorded, fuzz_keystore):
+        log, authenticators, _ = recorded
+        segment = log.full_segment()
+        data = segment_to_bytes(segment)
+        rng = random.Random(0xA5A5)
+        parse_rejected = verify_rejected = bookkeeping_only = 0
+
+        for _ in range(TRIALS):
+            mutated_bytes = _flip_bit(data, rng)
+            try:
+                mutated = segment_from_bytes(mutated_bytes)
+            except LogFormatError:
+                parse_rejected += 1
+                continue
+
+            # The auditor knows whose log it requested: a renamed segment is
+            # rejected before any check runs (Auditor.audit_segment).
+            if mutated.machine != segment.machine:
+                verify_rejected += 1
+                continue
+            try:
+                mutated.verify_against_authenticators(authenticators,
+                                                      fuzz_keystore)
+            except (HashChainError, AuthenticatorMismatchError):
+                verify_rejected += 1
+                continue
+
+            # Verification passed: the flip must not have touched anything
+            # the hash chain covers (i.e. only the bookkeeping timestamp).
+            assert _entries_equal_modulo_timestamp(segment, mutated), \
+                "a bit flip survived verification but changed covered fields"
+            bookkeeping_only += 1
+
+        # The fuzz actually exercised all three classes of outcome.
+        assert parse_rejected > 0
+        assert verify_rejected > 0
+        assert parse_rejected + verify_rejected + bookkeeping_only == TRIALS
+
+    def test_every_entry_position_is_covered(self, recorded, fuzz_keystore):
+        """Deterministic sweep: corrupt each entry's content in turn."""
+        log, authenticators, _ = recorded
+        for sequence in range(1, len(log) + 1):
+            segment = log.full_segment()
+            entry = segment.entries[sequence - 1]
+            entry.content["index"] = -1  # in-memory tamper, hashes untouched
+            with pytest.raises((HashChainError, AuthenticatorMismatchError)):
+                segment.verify_against_authenticators(authenticators,
+                                                      fuzz_keystore)
+
+
+class TestAuthenticatorBitFlips:
+    def test_any_single_bit_flip_fails_parse_or_verification(
+            self, recorded, fuzz_keystore):
+        _, authenticators, _ = recorded
+        data = authenticators_to_bytes(authenticators)
+        originals = {auth.sequence: auth for auth in authenticators}
+        rng = random.Random(0x5A5A)
+        parse_rejected = verify_rejected = untouched = 0
+
+        for _ in range(TRIALS):
+            mutated_bytes = _flip_bit(data, rng)
+            try:
+                mutated = authenticators_from_bytes(mutated_bytes)
+            except LogFormatError:
+                parse_rejected += 1
+                continue
+            for auth in mutated:
+                original = originals.get(auth.sequence)
+                if original is not None and auth == original:
+                    untouched += 1
+                    continue
+                # Every authenticator field is part of the commitment: any
+                # change must kill the signature, the internal consistency
+                # check, or the key lookup.
+                try:
+                    verdict = auth.verify(fuzz_keystore)
+                except CryptoError:
+                    verdict = False
+                assert not verdict, \
+                    f"mutated authenticator {auth!r} still verifies"
+                verify_rejected += 1
+
+        assert parse_rejected > 0
+        assert verify_rejected > 0
+
+    def test_batch_verification_pinpoints_the_mutated_authenticator(
+            self, recorded, fuzz_keystore):
+        _, authenticators, _ = recorded
+        rng = random.Random(0xBEEF)
+        for _ in range(20):
+            batch = [Authenticator.from_dict(auth.to_dict())
+                     for auth in authenticators]
+            victim = rng.randrange(len(batch))
+            tampered = batch[victim].to_dict()
+            tampered["chain_hash"] = hashing.hash_bytes(b"not-the-chain").hex()
+            batch[victim] = Authenticator.from_dict(tampered)
+            valid, invalid, _ = batch_verify_authenticators(batch,
+                                                            fuzz_keystore)
+            assert invalid == [victim]
+            assert len(valid) == len(batch) - 1
+
+    def test_roundtrip_of_untampered_authenticators(self, recorded,
+                                                    fuzz_keystore):
+        _, authenticators, _ = recorded
+        recovered = authenticators_from_bytes(
+            authenticators_to_bytes(authenticators))
+        assert recovered == authenticators
+        assert all(auth.verify(fuzz_keystore) for auth in recovered)
+
+
+class TestHashChainRoundTripFuzz:
+    def test_random_logs_verify_and_any_field_perturbation_fails(self, ca):
+        rng = random.Random(0xCAFE)
+        keypair = ca.issue("chain-fuzz")
+        for round_index in range(10):
+            log = TamperEvidentLog("chain-fuzz", keypair=keypair)
+            for index in range(rng.randrange(5, 15)):
+                log.append(rng.choice(list(EntryType)),
+                           {"i": index, "r": rng.randrange(1 << 20)})
+            segment = log.full_segment()
+            segment.verify_hash_chain()  # honest round-trip holds
+
+            victim = rng.randrange(len(segment.entries))
+            entry = segment.entries[victim]
+            mutation = rng.choice(["content", "sequence", "previous", "chain"])
+            if mutation == "content":
+                entry.content["r"] = -1
+            elif mutation == "sequence":
+                object.__setattr__(entry, "sequence", entry.sequence + 1)
+            elif mutation == "previous":
+                object.__setattr__(entry, "previous_hash",
+                                   hashing.hash_bytes(b"x"))
+            else:
+                object.__setattr__(entry, "chain_hash",
+                                   hashing.hash_bytes(b"y"))
+            with pytest.raises(HashChainError):
+                segment.verify_hash_chain()
