@@ -93,18 +93,46 @@ class Auditor:
 
     def audit(self, target: AccountableVMM,
               segment: Optional[LogSegment] = None,
-              initial_state: Optional[Dict[str, Any]] = None) -> AuditResult:
+              initial_state: Optional[Dict[str, Any]] = None,
+              streaming: bool = True) -> AuditResult:
         """Run a full audit of ``target`` (or of a specific segment of its log).
 
         Whole-machine audits run on the parallel engine when one is
         configured; audits of an explicit segment always take the serial
         path (the engine needs the machine's snapshots to chunk).
+
+        Archive-backed targets (anything advertising ``supports_streaming``)
+        are audited on the streaming pipeline by default: entries are
+        decoded, chain-verified, signature-checked and replayed chunk by
+        chunk in O(chunk) memory, with verdicts, evidence and modelled costs
+        identical to the materializing path (:mod:`repro.audit.stream`).
+        (Engine-backed auditors plan their chunk jobs off the same stream
+        but keep the engine's merge semantics: verdicts and evidence match
+        the serial path, while the fast-path merged report aggregates
+        per-chunk counters.)
+        Pass ``streaming=False`` to force whole-log materialization — for a
+        streamable target this also bypasses the engine (whose plans are
+        built from the stream), taking the serial materializing path.
         """
         machine = target.identity
-        if segment is None and initial_state is None and self.engine is not None:
-            return self.engine.audit_machine(self, target)
+        streamable = getattr(target, "supports_streaming", False)
+        if segment is None and initial_state is None:
+            if self.engine is not None and (streaming or not streamable):
+                return self.engine.audit_machine(self, target)
+            if streaming and streamable:
+                from repro.audit.stream import stream_audit
+                return stream_audit(self, target).result
         if segment is None:
             segment = target.get_log_segment()
+            if initial_state is None \
+                    and getattr(target, "is_truncated", None) is not None \
+                    and target.is_truncated():
+                # A GC-truncated archive replays from its boundary snapshot,
+                # like a spot-check chunk (the streaming path does the same).
+                state, snapshot_bytes = target.initial_state()
+                return self.audit_segment(machine, segment,
+                                          initial_state=state,
+                                          snapshot_bytes=snapshot_bytes)
         return self.audit_segment(machine, segment, initial_state=initial_state)
 
     def audit_segment(self, machine: str, segment: LogSegment,

@@ -374,15 +374,99 @@ class AuditScheduler:
         target = assignment.target
         machine = target.identity
         try:
+            if getattr(target, "supports_streaming", False):
+                return self._plan_streaming(assignment)
             return self._plan_chunks(assignment)
-        except (MissingSnapshotError, SegmentError) as exc:
+        except (MissingSnapshotError, SegmentError, HashChainError) as exc:
             # The target could not produce consistent segments or a
-            # verifiable snapshot at a chunk boundary.  The serial audit does
-            # not depend on stored snapshots (it replays from the start), so
-            # fall back to it for this machine rather than failing the fleet.
-            return _MachinePlan(machine=machine, auditor=auditor, target=target,
+            # verifiable snapshot at a chunk boundary (or, for a streamed
+            # archive, its stored chain does not verify).  The serial audit
+            # does not depend on stored snapshots (it replays from the
+            # start), so fall back to it for this machine rather than
+            # failing the fleet.
+            plan = _MachinePlan(machine=machine, auditor=auditor, target=target,
                                 jobs=[], full_segment=target.get_log_segment(),
                                 serial_fallback_reason=str(exc))
+            plan.initial_state, plan.snapshot_bytes = \
+                self._replay_start(target)
+            return plan
+
+    @staticmethod
+    def _replay_start(target) -> Tuple[Optional[Dict[str, Any]], int]:
+        """Replay start state for the whole log (GC boundary, if truncated)."""
+        if getattr(target, "is_truncated", None) is not None \
+                and target.is_truncated():
+            return target.initial_state()
+        return None, 0
+
+    def _plan_streaming(self, assignment: AuditAssignment) -> "_MachinePlan":
+        """Build chunk jobs from an archive-backed target's entry stream.
+
+        One pass over the archived segment files produces the jobs directly:
+        no whole-log materialization, no second copy via
+        ``get_snapshot_segments`` — the parent holds exactly the chunks the
+        workers will verify (the full segment is concatenated lazily only if
+        a failure needs the canonical serial re-audit).  Truncated archives
+        are handled by anchoring the first chunk at the retention boundary's
+        verified snapshot.
+        """
+        from repro.audit.stream import (
+            fetch_verified_snapshot_entry,
+            iter_stream_chunks,
+        )
+        auditor = assignment.auditor
+        target = assignment.target
+        machine = target.identity
+        authenticators = [auth for auth in auditor.authenticators_for(machine)
+                          if auth.machine == machine]
+        key_view = auditor.keystore.static_view()
+        verify_seconds = scheme_verify_seconds(auditor.keystore, machine)
+        chunk_target = self.chunks_per_machine or max(1, self.workers)
+        start_state, start_bytes = self._replay_start(target)
+
+        jobs: List[ChunkJob] = []
+        previous_snapshot_entry = None
+        # verify_chain=False: the workers prove each chunk extends its
+        # checkpoint (run_chunk step 1a), so verifying here too would run
+        # the whole chain serially in the parent on top of that.
+        for chunk in iter_stream_chunks(target, max_chunks=chunk_target,
+                                        verify_chain=False):
+            if chunk.index == 0:
+                initial_state, snapshot_bytes = start_state, start_bytes
+            else:
+                if previous_snapshot_entry is None:
+                    raise MissingSnapshotError(
+                        "the segment preceding the chunk does not end with "
+                        "a snapshot")
+                initial_state, snapshot_bytes = fetch_verified_snapshot_entry(
+                    target, previous_snapshot_entry)
+            segment = chunk.segment
+            jobs.append(ChunkJob(
+                machine=machine,
+                auditor=auditor.identity,
+                chunk_index=chunk.index,
+                segment=segment,
+                checkpoint=chunk.start_checkpoint,
+                authenticators=[auth for auth in authenticators
+                                if segment.entries
+                                and segment.first_sequence <= auth.sequence
+                                <= segment.last_sequence],
+                key_view=key_view,
+                reference_image=auditor.reference_image,
+                initial_state=initial_state,
+                snapshot_bytes=snapshot_bytes,
+                cost_params=auditor.cost_params,
+                verify_seconds=verify_seconds,
+            ))
+            snapshot_entries = segment.entries_of_type(EntryType.SNAPSHOT)
+            previous_snapshot_entry = (snapshot_entries[-1]
+                                       if snapshot_entries else None)
+        if not jobs:
+            raise SegmentError(f"no archived segments for {machine!r}")
+        return _MachinePlan(machine=machine, auditor=auditor, target=target,
+                            jobs=jobs, full_segment=None,
+                            initial_state=start_state,
+                            snapshot_bytes=start_bytes)
 
     def _plan_chunks(self, assignment: AuditAssignment) -> "_MachinePlan":
         auditor = assignment.auditor
@@ -439,7 +523,7 @@ class AuditScheduler:
         machine = plan.machine
 
         if plan.serial_fallback_reason is not None:
-            result = auditor.audit_segment(machine, plan.full_segment)
+            result = self._confirm_serially(plan)
             return MachineAuditReport(machine=machine, result=result,
                                       confirmed_serially=True)
 
@@ -452,7 +536,7 @@ class AuditScheduler:
             # Slow path: re-run the serial audit so evidence is canonical and
             # identical to what workers=1 would produce.
             if self.confirm_failures_serially:
-                result = auditor.audit_segment(machine, plan.full_segment)
+                result = self._confirm_serially(plan)
             else:
                 result = self._synthesise_failure(plan, failed, boundary_reason)
             return MachineAuditReport(machine=machine, result=result,
@@ -474,6 +558,12 @@ class AuditScheduler:
                                   chunk_count=len(outcomes),
                                   chunk_outcomes=outcomes)
 
+    def _confirm_serially(self, plan: "_MachinePlan") -> AuditResult:
+        """The canonical serial audit (anchored at the GC boundary if any)."""
+        return plan.auditor.audit_segment(plan.machine, plan.materialized(),
+                                          initial_state=plan.initial_state,
+                                          snapshot_bytes=plan.snapshot_bytes)
+
     def _check_boundaries(self, plan: "_MachinePlan",
                           outcomes: List[ChunkOutcome]) -> Optional[str]:
         """Chunk stitching: checkpoints must tile, cross-references must hold."""
@@ -482,8 +572,11 @@ class AuditScheduler:
             if previous.end_checkpoint != expected:
                 return (f"chunk {current.chunk_index} does not extend chunk "
                         f"{previous.chunk_index} (checkpoint mismatch)")
+        # The whole-segment cross-checker, with its exact serial semantics
+        # (streamed plans concatenate entry references lazily here — the
+        # parent already holds every chunk, so this adds no data copies).
         cross = SyntacticChecker(verify_sender_signatures=False,
-                                 check_entry_format=False).check(plan.full_segment)
+                                 check_entry_format=False).check(plan.materialized())
         if not cross.ok:
             return "; ".join(cross.problems[:3])
         return None
@@ -497,9 +590,10 @@ class AuditScheduler:
         phase = failed.phase if failed is not None else AuditPhase.SYNTACTIC_CHECK
         reason = failed.reason if failed is not None else (boundary_reason or "")
         evidence = Evidence(machine=plan.machine, accuser=auditor.identity,
-                            reason=reason, segment=plan.full_segment,
+                            reason=reason, segment=plan.materialized(),
                             authenticators=auditor.authenticators_for(plan.machine),
-                            reference_image_hash=auditor.reference_image.image_hash())
+                            reference_image_hash=auditor.reference_image.image_hash(),
+                            initial_state=plan.initial_state)
         return AuditResult(machine=plan.machine, auditor=auditor.identity,
                            verdict=Verdict.FAIL, phase=phase, reason=reason,
                            evidence=evidence)
@@ -536,10 +630,22 @@ class _MachinePlan:
     auditor: Auditor
     target: AccountableVMM
     jobs: List[ChunkJob]
-    full_segment: LogSegment
+    #: the whole log, or ``None`` for streamed plans, which concatenate it
+    #: lazily from the chunk jobs only if a failure needs the serial re-audit
+    full_segment: Optional[LogSegment]
     #: set when chunk planning failed (e.g. unverifiable snapshot) and the
     #: whole machine must be audited serially instead
     serial_fallback_reason: Optional[str] = None
+    #: replay start for the whole log (the GC boundary snapshot, if any)
+    initial_state: Optional[Dict[str, Any]] = None
+    snapshot_bytes: int = 0
+
+    def materialized(self) -> LogSegment:
+        """The whole log as one segment (concatenated on first use)."""
+        if self.full_segment is None:
+            self.full_segment = concatenate_segments(
+                [job.segment for job in self.jobs])
+        return self.full_segment
 
 
 # ---------------------------------------------------------------------------
@@ -554,23 +660,12 @@ def fetch_verified_snapshot(target: AccountableVMM,
     must match the downloaded snapshot (Section 4.5, "Verifying the
     snapshot").  Returns ``(state, transfer_bytes)``.
     """
+    from repro.audit.stream import fetch_verified_snapshot_entry
     snapshot_entries = preceding_segment.entries_of_type(EntryType.SNAPSHOT)
     if not snapshot_entries:
         raise MissingSnapshotError(
             "the segment preceding the chunk does not end with a snapshot")
-    snapshot_entry = snapshot_entries[-1]
-    snapshot_id = int(snapshot_entry.content["snapshot_id"])
-    expected_root = str(snapshot_entry.content["state_root"])
-
-    snapshot = target.snapshots.get(snapshot_id)
-    if snapshot.state_root.hex() != expected_root:
-        raise MissingSnapshotError(
-            f"snapshot {snapshot_id} does not match the root recorded in the log")
-    if not snapshot.verify_root():
-        raise MissingSnapshotError(
-            f"snapshot {snapshot_id} failed hash-tree verification")
-    transfer_bytes = target.snapshots.transfer_cost_bytes(snapshot_id)
-    return snapshot.state, transfer_bytes
+    return fetch_verified_snapshot_entry(target, snapshot_entries[-1])
 
 
 def scheme_verify_seconds(keystore, machine: str) -> float:
@@ -584,7 +679,15 @@ def scheme_verify_seconds(keystore, machine: str) -> float:
 
 def _merge_replay_reports(machine: str,
                           reports: Sequence[Optional[ReplayReport]]) -> ReplayReport:
-    """Stitch per-chunk replay reports into one machine-level report."""
+    """Stitch per-chunk replay reports into one machine-level report.
+
+    Work counters sum across chunks.  Instruction counters are *absolute*
+    (each chunk's VM restores its counter from the boundary snapshot), so
+    the last chunk's value is the whole-log count — summing would double-
+    count every restored prefix.  ``active_seconds`` still sums per-chunk
+    bucket counts, which can exceed the whole-log count by up to one bucket
+    per boundary; the serial streaming pipeline computes it globally.
+    """
     merged = ReplayReport(machine=machine)
     for report in reports:
         if report is None:
@@ -594,6 +697,6 @@ def _merge_replay_reports(machine: str,
         merged.clock_reads_served += report.clock_reads_served
         merged.outputs_checked += report.outputs_checked
         merged.snapshots_checked += report.snapshots_checked
-        merged.instructions_executed += report.instructions_executed
+        merged.instructions_executed = report.instructions_executed
         merged.active_seconds += report.active_seconds
     return merged

@@ -45,6 +45,11 @@ class OnlineAuditor:
     ``workers > 1``) and every pass is chunked over the worker pool.  The
     cost accounting below is unchanged either way, because the engine threads
     the same :class:`~repro.audit.verdict.AuditCost` totals through.
+
+    Archive-backed targets (:class:`~repro.service.target.
+    ArchiveBackedMachine`) stream: every pass decodes, verifies and replays
+    the archived log chunk by chunk (:mod:`repro.audit.stream`), so an
+    online auditor watching a long archived history keeps O(chunk) memory.
     """
 
     def __init__(self, auditor: Auditor, target: AccountableVMM,

@@ -33,10 +33,18 @@ class SemanticChecker:
         self.cost_params = cost_params or CostParameters()
 
     def check(self, segment: LogSegment,
-              initial_state: Optional[Dict[str, Any]] = None) -> ReplayReport:
-        """Replay ``segment`` (optionally from a snapshot state)."""
+              initial_state: Optional[Dict[str, Any]] = None,
+              carried_payloads: Optional[Dict[str, bytes]] = None
+              ) -> ReplayReport:
+        """Replay ``segment`` (optionally from a snapshot state).
+
+        ``carried_payloads`` forwards the streaming audit's in-flight RECV
+        payload window to the replayer (chunked replay only; whole-log
+        checks leave it ``None``).
+        """
         replayer = DeterministicReplayer(self.reference_image)
-        return replayer.replay(segment, initial_state=initial_state)
+        return replayer.replay(segment, initial_state=initial_state,
+                               carried_payloads=carried_payloads)
 
     def estimate_timing(self, report: ReplayReport) -> SemanticCheckTiming:
         """Estimate the wall-clock time the semantic check represents.

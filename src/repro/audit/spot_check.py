@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.audit.auditor import Auditor
 from repro.audit.verdict import AuditResult
@@ -145,11 +145,68 @@ class SpotCheckReport:
         return 1.0 - miss
 
 
+class _SegmentSource:
+    """Lazy access to a target's snapshot-delimited segments.
+
+    Live targets materialize their segment list once (as before).  An
+    archive-backed target (``supports_streaming``) is served record by
+    record from disk instead, with a small sliding cache sized to the chunk
+    being checked — so a spot check of one k-chunk decompresses k+1
+    segments, not the whole log, and entry counts come from the manifest
+    index without touching segment files at all.
+    """
+
+    def __init__(self, target: AccountableVMM, k: int = 1,
+                 segments: Optional[List[LogSegment]] = None) -> None:
+        self._records = None
+        self._archive = None
+        self._cache: Dict[int, LogSegment] = {}
+        self._cache_limit = max(2, k + 1)
+        if segments is not None:
+            self._segments: Optional[List[LogSegment]] = list(segments)
+        elif getattr(target, "supports_streaming", False):
+            self._segments = None
+            self._archive = target.archive
+            self._records = target.archive.segment_records(target.identity)
+        else:
+            self._segments = target.get_snapshot_segments()
+
+    def __len__(self) -> int:
+        if self._segments is not None:
+            return len(self._segments)
+        return len(self._records)
+
+    def get(self, index: int) -> LogSegment:
+        if self._segments is not None:
+            return self._segments[index]
+        cached = self._cache.get(index)
+        if cached is None:
+            cached = self._archive.read_segment(self._records[index])
+            if len(self._cache) >= self._cache_limit:
+                self._cache.pop(min(self._cache))
+            self._cache[index] = cached
+        return cached
+
+    def slice(self, start: int, stop: int) -> List[LogSegment]:
+        return [self.get(index) for index in range(start, stop)]
+
+    def entry_count(self, index: int) -> int:
+        if self._segments is not None:
+            return len(self._segments[index])
+        return self._records[index].entry_count
+
+    def total_entries(self) -> int:
+        return sum(self.entry_count(index) for index in range(len(self)))
+
+
 class SpotChecker:
     """Audits k-chunks of a machine's log.
 
     ``engine`` (or the auditor's own engine, when it has one) parallelises
     :meth:`check_all_chunks`; single-chunk checks always run serially.
+    Archive-backed targets are read lazily: each chunk's segments are
+    decompressed on demand (:class:`_SegmentSource`), so checking a few
+    chunks of a long archived log never materializes the log.
     """
 
     def __init__(self, auditor: Auditor,
@@ -164,25 +221,28 @@ class SpotChecker:
     # -- public API ------------------------------------------------------------------
 
     def check_chunk(self, target: AccountableVMM, start_index: int, k: int,
-                    segments: Optional[List[LogSegment]] = None) -> SpotCheckResult:
+                    segments: Optional[Union[List[LogSegment],
+                                             _SegmentSource]] = None
+                    ) -> SpotCheckResult:
         """Audit the chunk of ``k`` consecutive segments starting at ``start_index``.
 
         ``start_index`` is an index into the list of snapshot-delimited
         segments (0 = the segment that starts at the beginning of the log).
         """
-        if segments is None:
-            segments = target.get_snapshot_segments()
+        if not isinstance(segments, _SegmentSource):
+            segments = _SegmentSource(target, k=k, segments=segments)
         if start_index < 0 or start_index + k > len(segments):
             raise SegmentError(
                 f"chunk [{start_index}, {start_index + k}) outside the "
                 f"{len(segments)} available segments")
-        chunk = concatenate_segments(segments[start_index:start_index + k])
+        chunk = concatenate_segments(segments.slice(start_index,
+                                                    start_index + k))
 
         initial_state: Optional[Dict[str, Any]] = None
         snapshot_bytes = 0
         if start_index > 0:
             initial_state, snapshot_bytes = self._fetch_and_verify_snapshot(
-                target, segments[start_index - 1])
+                target, segments.get(start_index - 1))
 
         result = self.auditor.audit_segment(target.identity, chunk,
                                             initial_state=initial_state,
@@ -209,7 +269,7 @@ class SpotChecker:
         ``"pass-sampled"`` and the coverage fractions say how much of the
         log was actually checked.
         """
-        segments = target.get_snapshot_segments()
+        segments = _SegmentSource(target, k=k)
         start = 1 if skip_initial else 0
         indices = list(range(start, len(segments) - k + 1))
         rng = random.Random(seed)
@@ -223,8 +283,9 @@ class SpotChecker:
             segments_total=len(segments),
             checked_indices=chosen, results=results,
             segments_checked=len(covered),
-            entries_total=sum(len(segment) for segment in segments),
-            entries_checked=sum(len(segments[index]) for index in covered))
+            entries_total=segments.total_entries(),
+            entries_checked=sum(segments.entry_count(index)
+                                for index in covered))
         return report
 
     def check_all_chunks(self, target: AccountableVMM, k: int,
@@ -237,7 +298,7 @@ class SpotChecker:
         attached, the chunks run concurrently on its worker pool; the results
         are returned in chunk order either way.
         """
-        segments = target.get_snapshot_segments()
+        segments = _SegmentSource(target, k=k)
         start = 1 if skip_initial else 0
         indices = list(range(start, len(segments) - k + 1))
         engine = self.engine
@@ -248,7 +309,7 @@ class SpotChecker:
 
     def _check_chunks_on_engine(self, target: AccountableVMM, k: int,
                                 indices: List[int],
-                                segments: List[LogSegment]) -> List[SpotCheckResult]:
+                                segments: _SegmentSource) -> List[SpotCheckResult]:
         """Fan independent k-chunks out over the engine's worker pool.
 
         A chunk that fails on the fast path is re-audited serially so its
@@ -271,12 +332,12 @@ class SpotChecker:
 
         jobs: List["ChunkJob"] = []
         for position, index in enumerate(indices):
-            chunk = concatenate_segments(segments[index:index + k])
+            chunk = concatenate_segments(segments.slice(index, index + k))
             initial_state: Optional[Dict[str, Any]] = None
             snapshot_bytes = 0
             if index > 0:
                 initial_state, snapshot_bytes = fetch_verified_snapshot(
-                    target, segments[index - 1])
+                    target, segments.get(index - 1))
             jobs.append(ChunkJob(
                 machine=machine, auditor=auditor.identity,
                 chunk_index=position, segment=chunk,

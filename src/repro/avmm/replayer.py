@@ -148,18 +148,25 @@ class DeterministicReplayer:
     # -- public API -------------------------------------------------------------
 
     def replay(self, segment: LogSegment,
-               initial_state: Optional[Dict[str, Any]] = None) -> ReplayReport:
+               initial_state: Optional[Dict[str, Any]] = None,
+               carried_payloads: Optional[Dict[str, bytes]] = None
+               ) -> ReplayReport:
         """Replay ``segment`` and cross-check it against the reference image.
 
         ``initial_state`` is the verified snapshot state at the beginning of
         the segment; when ``None`` the segment is assumed to start at the
         beginning of the execution and the reference image's initial state is
-        used (Section 4.5, "Verifying the snapshot").
+        used (Section 4.5, "Verifying the snapshot").  ``carried_payloads``
+        maps message ids to payloads of RECV entries that precede the
+        segment — the streaming audit passes the still-in-flight window so a
+        MAC-layer injection just after a chunk boundary resolves exactly as
+        it does in a whole-log replay.
         """
         report = ReplayReport(machine=segment.machine,
                               entries_replayed=len(segment.entries))
         try:
-            clock_items, schedule, outputs, payloads = self._build_schedule(segment)
+            clock_items, schedule, outputs, payloads = self._build_schedule(
+                segment, carried_payloads)
         except ReplayInputError as exc:
             # A log whose replay stream references messages that were never
             # logged is inconsistent by construction (Section 4.4, "Detecting
@@ -247,13 +254,15 @@ class DeterministicReplayer:
 
     # -- schedule construction ----------------------------------------------------
 
-    def _build_schedule(self, segment: LogSegment) -> Tuple[
+    def _build_schedule(self, segment: LogSegment,
+                        carried_payloads: Optional[Dict[str, bytes]] = None
+                        ) -> Tuple[
             List[_ClockItem], List[Any], List[_OutputItem], Dict[str, bytes]]:
         """Split the log into clock reads, injections/snapshots and expected outputs."""
         clock_items: List[_ClockItem] = []
         schedule: List[Any] = []
         outputs: List[_OutputItem] = []
-        payloads: Dict[str, bytes] = {}
+        payloads: Dict[str, bytes] = dict(carried_payloads or {})
 
         for entry in segment.entries:
             payloads.update(self._payload_from_recv(entry))

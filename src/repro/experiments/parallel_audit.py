@@ -21,7 +21,7 @@ re-running the serial auditor whenever a chunk fails.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.audit.auditor import Auditor
@@ -78,7 +78,9 @@ class AuditFleet:
 def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
                 snapshot_interval: Optional[float] = 10.0,
                 archive: Optional[LogArchive] = None,
-                ingest_identity: str = DEFAULT_INGEST_IDENTITY) -> AuditFleet:
+                ingest_identity: str = DEFAULT_INGEST_IDENTITY,
+                client_settings: Optional[SqlBenchSettings] = None
+                ) -> AuditFleet:
     """Record a fleet of ``num_machines`` (server+client pairs) for auditing.
 
     With an ``archive``, an :class:`~repro.service.ingest.AuditIngestService`
@@ -86,7 +88,10 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
     sealed segments (plus boundary snapshots and collected peer
     authenticators) to it during the run; the unsealed log tails are shipped
     and drained before the fleet is returned, so the archive holds each
-    machine's complete log.
+    machine's complete log.  ``client_settings`` overrides the benchmark
+    clients' workload shape (its ``server`` field is replaced per pair); the
+    streaming-audit bench uses it to fatten row payloads so raw log bytes
+    grow without growing entry counts.
     """
     if num_machines < 2 or num_machines % 2:
         raise ValueError(f"fleet size must be an even number >= 2, got {num_machines}")
@@ -106,7 +111,11 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
     peers: Dict[str, str] = {}
     for index, (server, client) in enumerate(pairs):
         server_image = make_kvserver_image()
-        client_image = make_sqlbench_image(SqlBenchSettings(server=server))
+        if client_settings is None:
+            pair_settings = SqlBenchSettings(server=server)
+        else:
+            pair_settings = replace(client_settings, server=server)
+        client_image = make_sqlbench_image(pair_settings)
         reference_images[server] = server_image
         reference_images[client] = client_image
         peers[server] = client

@@ -1,0 +1,211 @@
+"""Streaming vs materializing audit: memory and throughput head-to-head.
+
+Records a hosted-database pair with deliberately *byte-dense* logs (fat row
+payloads grow raw log bytes without growing entry counts, i.e. without
+growing recording cost), archives the run through the ingest pipeline, then
+audits the server's archived log twice:
+
+* **materializing** — the pre-streaming path: every archived entry is
+  inflated into one in-memory segment before any check runs, so peak memory
+  grows with log length;
+* **streaming** — the bounded-memory pipeline (:mod:`repro.audit.stream`):
+  decode, chain-verify, window-batched signature checks and chunked replay,
+  holding one chunk at a time.
+
+Both paths are timed (best of ``repetitions``) and measured with
+``tracemalloc``; the results must be *structurally identical*.  One caveat
+the numbers make visible: both paths run the paper's bzip2-9 compression for
+the modelled download cost, and bzip2-9's block-transform working set is a
+fixed ~7.5 MB (level × ~830 KB) regardless of input size.  That floor is
+shared — the streaming path holds it during metering, the materializing path
+during its one-shot compress — so the experiment reports the peak ratio both
+raw and with the measured floor subtracted (``data_peak_ratio``); on a long
+run the raw ratio clears 5x as well, because the materializing path's
+O(log) terms dwarf the constant.
+"""
+
+from __future__ import annotations
+
+import bz2
+import gc
+import shutil
+import tempfile
+import time
+import tracemalloc
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.audit.stream import StreamAuditReport, stream_audit
+from repro.audit.verdict import AuditResult
+from repro.experiments.harness import format_table
+from repro.experiments.parallel_audit import build_fleet
+from repro.service.ingest import AuditIngestService
+from repro.store.archive import LogArchive
+from repro.workloads.sqlbench import SqlBenchSettings
+
+
+@dataclass
+class StreamAuditBenchResult:
+    """Everything the streaming-audit benchmark measured."""
+
+    duration: float
+    payload_bytes: int
+    segments: int
+    entries: int
+    raw_bytes: int
+    chunks: int
+    peak_chunk_entries: int
+    #: measured tracemalloc peaks (bytes)
+    materializing_peak: int = 0
+    streaming_peak: int = 0
+    #: the shared bzip2-9 compressor working set, measured in-process
+    bz2_floor: int = 0
+    #: best-of-N wall clocks (seconds)
+    materializing_wall: float = 0.0
+    streaming_wall: float = 0.0
+    #: streamed result structurally identical to the materializing one
+    identical: bool = False
+    fallback_reason: Optional[str] = None
+
+    @property
+    def peak_ratio(self) -> float:
+        """Materializing peak over streaming peak (raw tracemalloc)."""
+        return self.materializing_peak / max(1, self.streaming_peak)
+
+    @property
+    def data_peak_ratio(self) -> float:
+        """Peak ratio with the shared bzip2-9 floor subtracted from both."""
+        return (self.materializing_peak - self.bz2_floor) \
+            / max(1, self.streaming_peak - self.bz2_floor)
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Streaming throughput relative to materializing (1.0 = parity)."""
+        if self.streaming_wall <= 0:
+            return 0.0
+        return self.materializing_wall / self.streaming_wall
+
+
+def _measure_bz2_floor() -> int:
+    """Traced size of one bzip2-9 compressor's block-transform arrays."""
+    gc.collect()
+    tracemalloc.start()
+    compressor = bz2.BZ2Compressor(9)
+    compressor.compress(b"x")
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def run_stream_audit_bench(duration: float = 50.0,
+                           payload_bytes: int = 16000,
+                           snapshot_interval: float = 0.5,
+                           chunks: Optional[int] = 50,
+                           seed: int = 17,
+                           repetitions: int = 2,
+                           root: Optional[str] = None
+                           ) -> StreamAuditBenchResult:
+    """Record, archive, and audit one machine on both paths."""
+    workdir = Path(root) if root is not None else Path(
+        tempfile.mkdtemp(prefix="avm-stream-bench-"))
+    cleanup = root is None
+    try:
+        return _run(duration, payload_bytes, snapshot_interval, chunks, seed,
+                    repetitions, workdir)
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _run(duration: float, payload_bytes: int, snapshot_interval: float,
+         chunks: Optional[int], seed: int, repetitions: int,
+         workdir: Path) -> StreamAuditBenchResult:
+    fleet = build_fleet(
+        num_machines=2, duration=duration, seed=seed,
+        snapshot_interval=snapshot_interval,
+        archive=LogArchive(workdir / "archive"),
+        client_settings=SqlBenchSettings(
+            server="", operations_per_tick=6, tick_interval=0.25,
+            rows_per_phase=4, payload_bytes=payload_bytes))
+    archive = LogArchive(workdir / "archive")
+    service = AuditIngestService(archive)
+    machine = next(name for name in archive.machines() if "server" in name)
+    records = archive.segment_records(machine)
+
+    def prepared_auditor():
+        auditor = fleet.make_auditor(machine, collect=False)
+        service.prepare_auditor(auditor, machine)
+        return auditor
+
+    target = service.target_for(machine)
+
+    def run_materializing() -> AuditResult:
+        return prepared_auditor().audit(target, streaming=False)
+
+    def run_streaming() -> StreamAuditReport:
+        return stream_audit(prepared_auditor(), target, max_chunks=chunks)
+
+    def best_wall(fn) -> float:
+        walls = []
+        for _ in range(max(1, repetitions)):
+            started = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - started)
+        return min(walls)
+
+    def traced_peak(fn) -> int:
+        gc.collect()
+        tracemalloc.start()
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    materialized = run_materializing()
+    streamed = run_streaming()
+    result = StreamAuditBenchResult(
+        duration=duration, payload_bytes=payload_bytes,
+        segments=len(records),
+        entries=archive.entry_count(machine),
+        raw_bytes=sum(record.raw_bytes for record in records),
+        chunks=streamed.stats.chunks,
+        peak_chunk_entries=streamed.stats.peak_chunk_entries,
+        identical=(streamed.result == materialized),
+        fallback_reason=streamed.stats.fallback_reason,
+    )
+    # Wall clocks first (tracemalloc slows allocation-heavy code), then peaks.
+    result.streaming_wall = best_wall(run_streaming)
+    result.materializing_wall = best_wall(run_materializing)
+    result.streaming_peak = traced_peak(run_streaming)
+    result.materializing_peak = traced_peak(run_materializing)
+    result.bz2_floor = _measure_bz2_floor()
+    return result
+
+
+def main(duration: float = 50.0, payload_bytes: int = 16000) -> StreamAuditBenchResult:
+    """Print the streaming-vs-materializing audit comparison."""
+    result = run_stream_audit_bench(duration=duration,
+                                    payload_bytes=payload_bytes)
+    print(f"Streaming bounded-memory audit: {result.segments}-segment archived "
+          f"run, {result.raw_bytes / 1e6:.1f} MB raw\n")
+    rows = [
+        ("archived entries", result.entries),
+        ("raw log bytes", f"{result.raw_bytes:,}"),
+        ("chunks streamed", result.chunks),
+        ("peak entries resident", result.peak_chunk_entries),
+        ("materializing peak", f"{result.materializing_peak:,} B"),
+        ("streaming peak", f"{result.streaming_peak:,} B"),
+        ("peak ratio", f"{result.peak_ratio:.1f}x"),
+        ("peak ratio (minus bz2-9 floor)", f"{result.data_peak_ratio:.1f}x"),
+        ("materializing wall", f"{result.materializing_wall:.2f} s"),
+        ("streaming wall", f"{result.streaming_wall:.2f} s"),
+        ("streaming throughput", f"{result.throughput_ratio:.2f}x"),
+        ("results identical", result.identical),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -76,6 +76,28 @@ class ChainCheckpoint:
         return ChainCheckpoint(sequence=auth.sequence, chain_hash=auth.chain_hash)
 
 
+def extend_checkpoint(checkpoint: ChainCheckpoint,
+                      entry: LogEntry) -> ChainCheckpoint:
+    """Verify that one entry extends ``checkpoint``; return the new checkpoint.
+
+    This is the single step of :func:`verify_chain_incremental`, exposed so a
+    *streaming* verifier (:mod:`repro.audit.stream`) can check entries as they
+    are decoded, holding only the current checkpoint — O(1) state no matter
+    how long the log is.  Raises :class:`HashChainError` on any break.
+    """
+    if entry.sequence != checkpoint.sequence + 1:
+        raise HashChainError(
+            f"non-contiguous sequence numbers: "
+            f"{checkpoint.sequence} -> {entry.sequence}")
+    if entry.previous_hash != checkpoint.chain_hash:
+        raise HashChainError(
+            f"chain break at sequence {entry.sequence}: previous hash mismatch")
+    if not verify_entry(entry):
+        raise HashChainError(
+            f"entry {entry.sequence} does not hash to its recorded chain value")
+    return ChainCheckpoint(sequence=entry.sequence, chain_hash=entry.chain_hash)
+
+
 def verify_chain_incremental(entries: Sequence[LogEntry],
                              checkpoint: ChainCheckpoint) -> ChainCheckpoint:
     """Verify that ``entries`` extend ``checkpoint`` by an unbroken chain.
@@ -87,21 +109,9 @@ def verify_chain_incremental(entries: Sequence[LogEntry],
     chunk-parallel audit checks ``returned == next chunk's checkpoint``.
     Raises :class:`HashChainError` on any break.
     """
-    previous_hash = checkpoint.chain_hash
-    previous_sequence = checkpoint.sequence
     for entry in entries:
-        if entry.sequence != previous_sequence + 1:
-            raise HashChainError(
-                f"non-contiguous sequence numbers: {previous_sequence} -> {entry.sequence}")
-        if entry.previous_hash != previous_hash:
-            raise HashChainError(
-                f"chain break at sequence {entry.sequence}: previous hash mismatch")
-        if not verify_entry(entry):
-            raise HashChainError(
-                f"entry {entry.sequence} does not hash to its recorded chain value")
-        previous_hash = entry.chain_hash
-        previous_sequence = entry.sequence
-    return ChainCheckpoint(sequence=previous_sequence, chain_hash=previous_hash)
+        checkpoint = extend_checkpoint(checkpoint, entry)
+    return checkpoint
 
 
 def verify_chain(entries: Sequence[LogEntry], *,

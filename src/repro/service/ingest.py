@@ -298,20 +298,17 @@ class AuditIngestService:
         """Audit one machine straight from the archive.
 
         The auditor first collects the machine's archived authenticators.
-        An untruncated archive is audited exactly like a live machine (and
-        runs chunk-parallel when the auditor has an engine); a truncated one
-        is audited from the retention boundary's snapshot, like a spot-check
-        chunk.  Either way the machine leaves the pending queue.
+        A serial auditor streams the archived log chunk by chunk in
+        O(chunk) memory (:mod:`repro.audit.stream`); an engine-backed
+        auditor runs chunk-parallel with the jobs planned straight off the
+        stream (the parent holds every chunk for dispatch, so its residency
+        is the log — the worker pool is the memory boundary there).  A
+        truncated archive is anchored at the retention boundary's snapshot,
+        like a spot-check chunk.  Either way the machine leaves the pending
+        queue.
         """
         self.prepare_auditor(auditor, machine)
-        target = self.target_for(machine)
-        if target.is_truncated():
-            state, snapshot_bytes = target.initial_state()
-            result = auditor.audit_segment(machine, target.get_log_segment(),
-                                           initial_state=state,
-                                           snapshot_bytes=snapshot_bytes)
-        else:
-            result = auditor.audit(target)
+        result = auditor.audit(self.target_for(machine))
         self._pending.pop(machine, None)
         return result
 

@@ -10,6 +10,11 @@ exposes (``get_log_segment``, ``get_snapshot_segments``, ``snapshots``,
 without changing a line of audit code — the auditor cannot tell whether the
 segments it verifies came from a live machine or from disk, and because the
 archive round-trip is bit-exact, verdicts and evidence are identical.
+
+Archive-backed targets additionally advertise ``supports_streaming``: the
+default audit path decodes, verifies and replays their logs chunk by chunk
+(:mod:`repro.audit.stream`) instead of materializing the whole retained log,
+so peak auditor memory is O(chunk) rather than O(log).
 """
 
 from __future__ import annotations
@@ -41,6 +46,11 @@ class _ArchiveLogView:
 class ArchiveBackedMachine:
     """An audit target served from the durable archive instead of a live VMM."""
 
+    #: auditors stream this target's log instead of materializing it
+    #: (:mod:`repro.audit.stream`); duck-typed so audit code never has to
+    #: import the store layer
+    supports_streaming = True
+
     def __init__(self, archive: LogArchive, identity: str) -> None:
         self.archive = archive
         self.identity = identity
@@ -55,11 +65,20 @@ class ArchiveBackedMachine:
     def snapshots(self) -> ArchiveSnapshotStore:
         return self.archive.snapshot_store(self.identity)
 
+    def entry_stream(self, start: Optional[ChainCheckpoint] = None):
+        """A chain-verified, resumable stream of this machine's entries."""
+        from repro.audit.stream import ArchiveEntryStream
+        return ArchiveEntryStream(self.archive, self.identity, start=start)
+
     def get_log_segment(self, first_sequence: Optional[int] = None,
                         last_sequence: Optional[int] = None) -> LogSegment:
-        """The retained log (or a sub-range of it) as one segment."""
+        """The retained log (or a sub-range of it) as one segment.
+
+        Materializes every requested entry — the streaming pipeline avoids
+        calling this outside its serial-confirmation fallback.
+        """
         if first_sequence is None and last_sequence is None:
-            return self.archive.full_segment(self.identity)
+            return self.archive.materialized_log(self.identity)
         records = self.archive.segment_records(self.identity)
         first = first_sequence if first_sequence is not None \
             else records[0].first_sequence

@@ -37,10 +37,11 @@ from __future__ import annotations
 import bz2
 import json
 import re
+import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import (
     ArchiveIntegrityError,
@@ -51,7 +52,8 @@ from repro.errors import (
     StoreError,
 )
 from repro.log.authenticator import Authenticator
-from repro.log.compression import VmmLogCompressor
+from repro.log.compression import SegmentStreamDecoder, VmmLogCompressor
+from repro.log.entries import LogEntry
 from repro.log.hashchain import ChainCheckpoint, verify_chain_incremental
 from repro.log.segments import LogSegment, concatenate_segments
 from repro.log.storage import authenticators_from_bytes, authenticators_to_bytes
@@ -82,6 +84,8 @@ _AUTH_NAME_RE = re.compile(r"^auths-(\d+)\.jsonl\.bz2$")
 #: unrelated data
 _OWNED_NAME_RE = re.compile(
     r"^(segment-\d+-\d+\.avmlogz|auths-\d+\.jsonl\.bz2|snapshot-\d+(-kf)?\.json)$")
+#: one-time :meth:`LogArchive.full_segment` deprecation warning latch
+_FULL_SEGMENT_WARNED = False
 
 
 @dataclass
@@ -456,17 +460,98 @@ class LogArchive:
                 f"manifest record")
         return segment
 
+    def stream_segment(self, record: SegmentRecord,
+                       chunk_bytes: int = 1 << 16) -> Iterator[LogEntry]:
+        """Stream one archived segment's entries without materializing it.
+
+        Decompresses the segment file incrementally
+        (:class:`~repro.log.compression.SegmentStreamDecoder`) and yields one
+        entry at a time — peak memory is one compressed chunk plus one entry,
+        not the segment.  The same metadata checks :meth:`read_segment`
+        performs run incrementally: header fields before the first entry,
+        first/last sequence and end hash as they stream past, entry count at
+        exhaustion.  Any decode failure or metadata mismatch raises
+        :class:`ArchiveIntegrityError`, exactly like the materializing
+        reader.  The hash chain is *not* verified here — feed the stream to
+        :func:`repro.log.hashchain.extend_checkpoint` (the audit stream
+        pipeline does).
+        """
+        path = self.root / record.file_name
+        decoder = SegmentStreamDecoder()
+        last_entry: Optional[LogEntry] = None
+        try:
+            with open(path, "rb") as handle:
+                chunks = iter(lambda: handle.read(chunk_bytes), b"")
+                for entry in decoder.entries(chunks):
+                    if decoder.entry_count == 1:
+                        header = decoder.header or {}
+                        if str(header.get("machine")) != record.machine \
+                                or header.get("start_hash") \
+                                != record.start_hash.hex() \
+                                or entry.sequence != record.first_sequence:
+                            raise ArchiveIntegrityError(
+                                f"archived segment {record.file_name} does "
+                                f"not match its manifest record")
+                    if entry.sequence > record.last_sequence or (
+                            entry.sequence == record.last_sequence
+                            and entry.chain_hash != record.end_hash):
+                        # Checked before the yield, so a consumer verifying
+                        # the chain as it pulls sees the same error class the
+                        # materializing reader raises for this corruption.
+                        raise ArchiveIntegrityError(
+                            f"archived segment {record.file_name} does not "
+                            f"match its manifest record")
+                    last_entry = entry
+                    yield entry
+        except (OSError, EOFError, ValueError, LogFormatError) as exc:
+            raise ArchiveIntegrityError(
+                f"cannot read archived segment {record.file_name}: "
+                f"{exc}") from exc
+        if last_entry is None \
+                or decoder.entry_count != record.entry_count \
+                or last_entry.sequence != record.last_sequence \
+                or last_entry.chain_hash != record.end_hash:
+            raise ArchiveIntegrityError(
+                f"archived segment {record.file_name} does not match its "
+                f"manifest record")
+
     def segments_for(self, machine: str) -> List[LogSegment]:
         """All retained segments of ``machine``, oldest first."""
         return [self.read_segment(record)
                 for record in self._index.get(machine, [])]
 
-    def full_segment(self, machine: str) -> LogSegment:
-        """The machine's whole retained log as one contiguous segment."""
+    def materialized_log(self, machine: str) -> LogSegment:
+        """The whole retained log, explicitly materialized in memory.
+
+        Peak memory grows with log length — the audit hot path streams
+        instead (:mod:`repro.audit.stream`); this exists for the streaming
+        pipeline's canonical-evidence fallback and for callers that really
+        want the whole log at once.
+        """
         segments = self.segments_for(machine)
         if not segments:
             raise StoreError(f"no archived segments for {machine!r}")
         return concatenate_segments(segments)
+
+    def full_segment(self, machine: str) -> LogSegment:
+        """The machine's whole retained log as one contiguous segment.
+
+        .. deprecated::
+            This materializes every archived entry into one in-memory
+            :class:`~repro.log.segments.LogSegment`, so peak auditor memory
+            grows with log length.  The audit hot path streams instead
+            (:mod:`repro.audit.stream`); use :meth:`segments_for` /
+            :meth:`stream_segment` when whole-log materialization is really
+            wanted.  Kept as a compatibility shim; warns once per process.
+        """
+        global _FULL_SEGMENT_WARNED
+        if not _FULL_SEGMENT_WARNED:
+            _FULL_SEGMENT_WARNED = True
+            warnings.warn(
+                "LogArchive.full_segment materializes the whole archived log; "
+                "the audit pipeline streams segments instead "
+                "(repro.audit.stream)", DeprecationWarning, stacklevel=2)
+        return self.materialized_log(machine)
 
     def record_covering(self, machine: str, sequence: int) -> SegmentRecord:
         """Index lookup: the segment record containing ``sequence``.

@@ -29,6 +29,10 @@ class SqlBenchSettings:
     tick_interval: float = 0.25
     #: rows per table before the workload cycles to the next phase
     rows_per_phase: int = 200
+    #: bytes of filler payload per inserted/updated row (drives log density:
+    #: the streaming-audit bench uses fat rows to grow raw log bytes without
+    #: growing entry counts, i.e. without growing recording cost)
+    payload_bytes: int = 64
 
 
 class SqlBenchClientGuest(GuestProgram):
@@ -91,7 +95,8 @@ class SqlBenchClientGuest(GuestProgram):
             "key": f"row{row:06d}",
         }
         if phase in ("insert", "update"):
-            query["value"] = {"seq": self.sequence, "payload": "x" * 64}
+            query["value"] = {"seq": self.sequence,
+                              "payload": "x" * self.settings.payload_bytes}
         self.sequence += 1
         return query
 

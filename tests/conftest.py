@@ -7,11 +7,20 @@ repeatedly.
 The package is normally installed with ``pip install -e .`` (CI does); for a
 clean checkout without an install, the fallback below puts the ``src/``
 layout on ``sys.path`` so plain ``python -m pytest`` still works.
+
+Opt-in seeded test-order shuffling (hidden inter-test ordering dependencies
+are bugs; CI runs the fast stage shuffled to flush them out):
+
+* ``--shuffle`` or ``REPRO_TEST_SHUFFLE=1`` enables it;
+* ``--shuffle-seed N`` / ``REPRO_TEST_SHUFFLE_SEED=N`` pins the order; by
+  default a fresh seed is drawn per run and printed in the header (and again
+  in the summary when anything fails) so the exact order can be reproduced.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import sys
 
 if "repro" not in sys.modules:
@@ -21,6 +30,55 @@ if "repro" not in sys.modules:
         sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--shuffle", action="store_true", default=False,
+                     help="shuffle test order (also: REPRO_TEST_SHUFFLE=1)")
+    parser.addoption("--shuffle-seed", type=int, default=None,
+                     help="seed for --shuffle (also: REPRO_TEST_SHUFFLE_SEED)")
+
+
+def _shuffle_enabled(config) -> bool:
+    if config.getoption("--shuffle"):
+        return True
+    return os.environ.get("REPRO_TEST_SHUFFLE", "").strip().lower() in (
+        "1", "true", "yes", "on")
+
+
+def _shuffle_seed(config) -> int:
+    seed = config.getoption("--shuffle-seed")
+    if seed is None:
+        env = os.environ.get("REPRO_TEST_SHUFFLE_SEED", "").strip()
+        seed = int(env) if env else random.SystemRandom().randrange(2 ** 32)
+    return seed
+
+
+def pytest_configure(config):
+    if _shuffle_enabled(config):
+        config._repro_shuffle_seed = _shuffle_seed(config)
+
+
+def pytest_report_header(config):
+    seed = getattr(config, "_repro_shuffle_seed", None)
+    if seed is None:
+        return None
+    return (f"repro: shuffling test order with seed {seed} "
+            f"(reproduce with --shuffle --shuffle-seed {seed})")
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = getattr(config, "_repro_shuffle_seed", None)
+    if seed is not None:
+        random.Random(seed).shuffle(items)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    seed = getattr(config, "_repro_shuffle_seed", None)
+    if seed is not None and exitstatus != 0:
+        terminalreporter.write_sep(
+            "=", f"test order was shuffled — reproduce this order with "
+                 f"--shuffle --shuffle-seed {seed}")
 
 from repro.avmm.config import Configuration
 from repro.crypto.keys import CertificateAuthority, KeyStore

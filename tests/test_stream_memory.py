@@ -1,0 +1,103 @@
+"""tracemalloc memory-bound regression tests for the streaming audit.
+
+The pipeline's promise is O(chunk) residency: peak traced memory minus the
+fixed bzip2-9 compressor working set (a level-dependent constant both audit
+paths allocate for the modelled-cost compression) must stay under a fixed
+multiple of the chunk size, while the materializing path — which inflates the
+whole archived log before any check runs — blows through the same bound.
+The slow test pins this on a 200-snapshot archived run; the fast variant is
+the same assertion at smoke scale.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import pytest
+
+from repro.audit.stream import stream_audit
+from repro.experiments.parallel_audit import build_fleet
+from repro.experiments.stream_audit import _measure_bz2_floor
+from repro.service.ingest import AuditIngestService
+from repro.store.archive import LogArchive
+from repro.workloads.sqlbench import SqlBenchSettings
+
+#: data peak (above the bzip2-9 floor) must stay under this multiple of the
+#: largest chunk's raw bytes, plus a small fixed pipeline overhead
+CHUNK_MULTIPLE = 6
+FIXED_OVERHEAD = 1_200_000
+
+
+def _traced_peak(fn) -> int:
+    gc.collect()
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def _run_memory_bound_check(tmp_path, duration: float, snapshots: int):
+    snapshot_interval = duration / snapshots
+    root = tmp_path / "archive"
+    fleet = build_fleet(num_machines=2, duration=duration, seed=19,
+                        snapshot_interval=snapshot_interval,
+                        archive=LogArchive(root),
+                        client_settings=SqlBenchSettings(
+                            server="", operations_per_tick=6,
+                            tick_interval=0.25, rows_per_phase=4,
+                            payload_bytes=8000))
+    archive = LogArchive(root)
+    service = AuditIngestService(archive)
+    machine = next(name for name in archive.machines() if "server" in name)
+    records = archive.segment_records(machine)
+    assert len(archive.snapshot_store(machine).snapshot_ids()) >= snapshots
+
+    #: chunk the stream ~4 segments at a time; the bound scales with this
+    chunks = max(4, len(records) // 4)
+    chunk_raw = -(-sum(r.raw_bytes for r in records) // chunks)  # ceil
+
+    def prepared_auditor():
+        auditor = fleet.make_auditor(machine, collect=False)
+        service.prepare_auditor(auditor, machine)
+        return auditor
+
+    target = service.target_for(machine)
+    streamed = stream_audit(prepared_auditor(), target, max_chunks=chunks)
+    assert streamed.stats.fallback_reason is None
+    materialized = prepared_auditor().audit(target, streaming=False)
+    assert streamed.result == materialized
+
+    # Prepare the auditors (and their O(log) authenticator stores — input
+    # state both paths share) outside the traced region, so the peaks
+    # measure what the *audit* holds.
+    stream_auditor = prepared_auditor()
+    stream_peak = _traced_peak(
+        lambda: stream_audit(stream_auditor, target, max_chunks=chunks))
+    materializing_auditor = prepared_auditor()
+    materializing_peak = _traced_peak(
+        lambda: materializing_auditor.audit(target, streaming=False))
+    floor = _measure_bz2_floor()
+    bound = CHUNK_MULTIPLE * chunk_raw + FIXED_OVERHEAD
+
+    assert stream_peak - floor <= bound, (
+        f"streaming audit of {len(records)} segments used "
+        f"{stream_peak - floor:,} B above the bzip2 floor; bound was "
+        f"{bound:,} B ({CHUNK_MULTIPLE}x the {chunk_raw:,} B chunk)")
+    assert materializing_peak - floor > bound, (
+        f"materializing path stayed under the chunk bound "
+        f"({materializing_peak - floor:,} B <= {bound:,} B) — the bound "
+        f"no longer separates the paths; tighten the test")
+    assert stream_peak < materializing_peak
+
+
+@pytest.mark.slow
+def test_stream_memory_bound_200_snapshots(tmp_path):
+    """A 200-snapshot archived run: streaming stays O(chunk), full doesn't."""
+    _run_memory_bound_check(tmp_path, duration=50.0, snapshots=200)
+
+
+def test_stream_memory_bound_smoke(tmp_path):
+    """Smoke-sized variant of the 200-snapshot bound (fast stage)."""
+    _run_memory_bound_check(tmp_path, duration=10.0, snapshots=40)

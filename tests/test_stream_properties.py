@@ -1,0 +1,275 @@
+"""Seeded-random property tests for the streaming audit pipeline.
+
+Two properties pin the stream's correctness (stdlib ``random`` only — the
+container has no network, so no hypothesis):
+
+* **Resumability** — interrupting the verified entry stream at any segment
+  or chunk boundary and resuming from the persisted
+  :class:`~repro.log.hashchain.ChainCheckpoint` yields exactly the entry
+  sequence and checkpoints of one uninterrupted pass.
+* **Corruption parity** — any single-bit flip in an archived segment file
+  surfaces through the streaming reader as the same error class the
+  in-memory reader raises (and, for hash-chain breaks, at the same sequence
+  number); flips that touch only uncovered bookkeeping (the timestamp) leave
+  both readers returning identical entries.
+
+Plus the byte-exactness property of the incremental compression meter, which
+the cost-model equivalence of the whole pipeline rests on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.audit.stream import ArchiveEntryStream, iter_stream_chunks
+from repro.errors import HashChainError, ReproError
+from repro.experiments.parallel_audit import build_fleet
+from repro.log.compression import (
+    IncrementalCompressionMeter,
+    SegmentStreamDecoder,
+    VmmLogCompressor,
+)
+from repro.log.entries import EntryType
+from repro.log.hashchain import verify_chain_incremental
+from repro.log.segments import LogSegment
+from repro.log.tamper_evident import TamperEvidentLog
+from repro.service.target import ArchiveBackedMachine
+from repro.store.archive import LogArchive
+
+
+@pytest.fixture(scope="module")
+def archived_run(tmp_path_factory):
+    """A short honest archived run with a dozen-odd segments per machine."""
+    root = tmp_path_factory.mktemp("stream-props") / "archive"
+    build_fleet(num_machines=2, duration=10.0, seed=13,
+                snapshot_interval=1.0, archive=LogArchive(root))
+    archive = LogArchive(root)
+    machine = archive.machines()[0]
+    assert len(archive.segment_records(machine)) >= 8
+    return archive, machine
+
+
+# ---------------------------------------------------------------------------
+# Property (a): resuming at any boundary reproduces the uninterrupted pass
+# ---------------------------------------------------------------------------
+
+class TestResumeProperty:
+    def _boundaries(self, archive, machine):
+        """(checkpoint, entries_before) at every segment boundary."""
+        boundaries = [(archive.start_checkpoint(machine), 0)]
+        count = 0
+        for record in archive.segment_records(machine):
+            count += record.entry_count
+            boundaries.append((record.end_checkpoint(), count))
+        return boundaries
+
+    def test_resume_at_random_segment_boundaries(self, archived_run):
+        archive, machine = archived_run
+        full = list(ArchiveEntryStream(archive, machine))
+        boundaries = self._boundaries(archive, machine)
+        rng = random.Random(0xA5)
+        for checkpoint, consumed in rng.sample(boundaries,
+                                               min(6, len(boundaries))):
+            resumed_stream = ArchiveEntryStream(archive, machine,
+                                                start=checkpoint)
+            resumed = list(resumed_stream)
+            assert resumed == full[consumed:], \
+                f"resume at sequence {checkpoint.sequence} diverged"
+            if resumed:
+                assert resumed_stream.checkpoint.sequence == full[-1].sequence
+            else:  # empty suffix keeps the start checkpoint
+                assert resumed_stream.checkpoint == checkpoint
+
+    def test_interrupt_then_resume_equals_one_pass(self, archived_run):
+        """Consume a random number of whole segments, persist the checkpoint,
+        resume: concatenation equals the uninterrupted pass, checkpoint
+        trajectories included."""
+        archive, machine = archived_run
+        records = archive.segment_records(machine)
+        full_stream = ArchiveEntryStream(archive, machine)
+        full = list(full_stream)
+        rng = random.Random(0x5EED)
+        for _ in range(5):
+            cut = rng.randrange(1, len(records))
+            first_stream = ArchiveEntryStream(archive, machine)
+            consumed = []
+            iterator = iter(first_stream)
+            target_count = sum(record.entry_count for record in records[:cut])
+            for _ in range(target_count):
+                consumed.append(next(iterator))
+            checkpoint = first_stream.checkpoint
+            assert checkpoint == records[cut - 1].end_checkpoint()
+            rest = list(ArchiveEntryStream(archive, machine, start=checkpoint))
+            assert consumed + rest == full
+            # Chain checkpoints agree with a scratch verification pass.
+            assert verify_chain_incremental(
+                rest, checkpoint) == full_stream.checkpoint
+
+    def test_resume_chunk_iterator_at_chunk_boundaries(self, archived_run):
+        archive, machine = archived_run
+        target = ArchiveBackedMachine(archive, machine)
+        chunks = list(iter_stream_chunks(target))
+        assert len(chunks) > 2
+        rng = random.Random(7)
+        for cut in rng.sample(range(1, len(chunks)), min(4, len(chunks) - 1)):
+            resumed = list(iter_stream_chunks(
+                target, start=chunks[cut - 1].end_checkpoint))
+            assert [c.segment.entries for c in resumed] == \
+                [c.segment.entries for c in chunks[cut:]]
+            assert [c.end_checkpoint for c in resumed] == \
+                [c.end_checkpoint for c in chunks[cut:]]
+
+    def test_resume_off_boundary_is_refused(self, archived_run):
+        archive, machine = archived_run
+        records = archive.segment_records(machine)
+        wide = [r for r in records if r.entry_count > 1]
+        assert wide
+        from repro.log.hashchain import ChainCheckpoint
+        mid = ChainCheckpoint(sequence=wide[0].first_sequence,
+                              chain_hash=b"\x00" * 32)
+        with pytest.raises(ReproError):
+            list(ArchiveEntryStream(archive, machine, start=mid))
+        # Mid-segment inside the LAST record and past-the-end checkpoints
+        # must also refuse — an empty stream would let the suffix pass as
+        # "fully audited".
+        head = records[-1].end_checkpoint()
+        inside_last = ChainCheckpoint(sequence=head.sequence - 1,
+                                      chain_hash=b"\x11" * 32)
+        with pytest.raises(ReproError):
+            list(ArchiveEntryStream(archive, machine, start=inside_last))
+        beyond = ChainCheckpoint(sequence=head.sequence + 99,
+                                 chain_hash=b"\x22" * 32)
+        with pytest.raises(ReproError):
+            list(ArchiveEntryStream(archive, machine, start=beyond))
+        # Resume exactly at the head is the legitimate empty suffix...
+        assert list(ArchiveEntryStream(archive, machine, start=head)) == []
+        # ...but only with the matching chain hash.
+        forged_head = ChainCheckpoint(sequence=head.sequence,
+                                      chain_hash=b"\x33" * 32)
+        with pytest.raises(ReproError):
+            list(ArchiveEntryStream(archive, machine, start=forged_head))
+
+
+# ---------------------------------------------------------------------------
+# Property (b): bit flips surface identically on both readers
+# ---------------------------------------------------------------------------
+
+def _read_materializing(archive, machine):
+    """Entries via the in-memory reader + whole-chain verification."""
+    entries = []
+    checkpoint = archive.start_checkpoint(machine)
+    for record in archive.segment_records(machine):
+        segment = archive.read_segment(record)
+        checkpoint = verify_chain_incremental(segment.entries, checkpoint)
+        entries.extend(segment.entries)
+    return entries
+
+
+def _read_streaming(archive, machine):
+    return list(ArchiveEntryStream(archive, machine))
+
+
+class TestBitFlipParity:
+    TRIALS = 24
+
+    def test_single_bit_flips_surface_identically(self, archived_run):
+        archive, machine = archived_run
+        records = archive.segment_records(machine)
+        rng = random.Random(0xB17F11B)
+        outcomes = {"clean": 0, "error": 0}
+        for trial in range(self.TRIALS):
+            record = rng.choice(records)
+            path = archive.root / record.file_name
+            original = path.read_bytes()
+            position = rng.randrange(len(original))
+            bit = 1 << rng.randrange(8)
+            corrupted = bytearray(original)
+            corrupted[position] ^= bit
+            path.write_bytes(bytes(corrupted))
+            try:
+                fresh = LogArchive(archive.root)
+                materializing_entries = materializing_error = None
+                streaming_entries = streaming_error = None
+                try:
+                    materializing_entries = _read_materializing(fresh, machine)
+                except Exception as exc:  # noqa: BLE001 - class parity test
+                    materializing_error = exc
+                try:
+                    streaming_entries = _read_streaming(fresh, machine)
+                except Exception as exc:  # noqa: BLE001 - class parity test
+                    streaming_error = exc
+
+                context = (f"trial {trial}: flip bit {bit:#x} at byte "
+                           f"{position} of {record.file_name}")
+                if materializing_error is None:
+                    assert streaming_error is None, \
+                        f"{context}: streaming raised {streaming_error!r}, " \
+                        f"in-memory read cleanly"
+                    assert streaming_entries == materializing_entries, context
+                    outcomes["clean"] += 1
+                else:
+                    assert streaming_error is not None, \
+                        f"{context}: in-memory raised " \
+                        f"{materializing_error!r}, streaming read cleanly"
+                    assert type(streaming_error) \
+                        is type(materializing_error), \
+                        f"{context}: class divergence — in-memory " \
+                        f"{materializing_error!r}, streaming {streaming_error!r}"
+                    if isinstance(materializing_error, HashChainError):
+                        # Chain breaks must be attributed to the same entry.
+                        assert str(streaming_error) \
+                            == str(materializing_error), context
+                    outcomes["error"] += 1
+            finally:
+                path.write_bytes(original)
+        # The sweep must have exercised the detection path, not just
+        # no-op flips in uncovered bookkeeping bytes.
+        assert outcomes["error"] > 0
+        print(f"\nbit-flip outcomes: {outcomes}")
+
+
+# ---------------------------------------------------------------------------
+# Meter and decoder properties (randomized)
+# ---------------------------------------------------------------------------
+
+def _random_segment(rng: random.Random, entries: int) -> LogSegment:
+    log = TamperEvidentLog(f"machine-{rng.randrange(1000)}")
+    counter = 0
+    for index in range(entries):
+        content = {"index": index,
+                   "blob": "".join(rng.choice("abcdef0123456789")
+                                   for _ in range(rng.randrange(0, 40)))}
+        if rng.random() < 0.6:
+            counter += rng.randrange(1, 5000)
+            content["execution_counter"] = counter
+        log.append(EntryType.ANNOTATION, content)
+    return LogSegment(machine=log.machine, entries=list(log.entries),
+                      start_hash=log.entries[0].previous_hash)
+
+
+class TestCodecProperties:
+    def test_meter_matches_one_shot_compression(self):
+        compressor = VmmLogCompressor()
+        rng = random.Random(42)
+        for _ in range(8):
+            segment = _random_segment(rng, rng.randrange(1, 120))
+            meter = IncrementalCompressionMeter(segment.machine,
+                                                segment.start_hash)
+            for entry in segment.entries:
+                meter.add(entry)
+            assert meter.finish() == len(compressor.compress(segment))
+            assert meter.raw_bytes == segment.size_bytes()
+
+    def test_stream_decoder_matches_one_shot_decode(self):
+        compressor = VmmLogCompressor()
+        rng = random.Random(43)
+        for _ in range(6):
+            segment = _random_segment(rng, rng.randrange(1, 80))
+            data = compressor.compress(segment)
+            size = rng.choice([1, 7, 64, 4096, len(data)])
+            decoder = SegmentStreamDecoder()
+            chunks = [data[i:i + size] for i in range(0, len(data), size)]
+            assert list(decoder.entries(chunks)) == segment.entries
+            assert decoder.header["machine"] == segment.machine
