@@ -1,0 +1,71 @@
+"""Versioned wire codec: v2 binary vs v1 JSON+bz2 on the hot path.
+
+Runs :mod:`repro.experiments.codec_bench` — one byte-dense recorded pair,
+archived in both formats — and asserts the redesign's headline numbers:
+>= 3x faster one-shot decode and >= 1.5x faster end-to-end streaming audit
+at full scale, with the two formats' audits structurally identical.
+
+Also emits ``BENCH_codec.json`` (next to the repo root) with the full
+measurement table, including each format's cProfile decode hotspots; the
+checked-in copy is from a full-scale run and CI uploads the smoke-scale one
+as an artifact.
+"""
+
+import json
+from pathlib import Path
+
+from _bench_utils import duration_or, scaled, smoke_mode
+
+from repro.experiments import codec_bench
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_codec.json"
+
+
+def test_codec_binary_vs_json(benchmark, repro_duration):
+    duration = duration_or(30.0, repro_duration, smoke=6.0)
+    result = benchmark.pedantic(
+        codec_bench.run_codec_bench,
+        kwargs={"duration": duration, "payload_bytes": 16000,
+                "snapshot_interval": 0.5,
+                "repetitions": scaled(3, 2),
+                "chunks": scaled(20, 12)},
+        rounds=1, iterations=1)
+    print()
+    print(f"archived: {result.segments} segments, {result.entries} entries, "
+          f"{result.raw_bytes:,} B raw")
+    for version in (1, 2):
+        point = result.points[version]
+        print(f"v{version}: stored {point.stored_bytes:,} B; "
+              f"encode {result.entries_per_second(version, 'encode_wall'):,.0f} e/s, "
+              f"decode {result.entries_per_second(version, 'decode_wall'):,.0f} e/s, "
+              f"stream audit {point.audit_wall:.3f} s")
+    print(f"v2 speedup: decode {result.decode_ratio:.2f}x, stream decode "
+          f"{result.stream_decode_ratio:.2f}x, e2e audit "
+          f"{result.e2e_ratio:.2f}x; stored size {result.stored_ratio:.1f}x")
+
+    payload = result.to_dict()
+    payload["mode"] = "smoke" if smoke_mode() else "full"
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH.name}")
+
+    # The codec API's core contract: the wire format is invisible above the
+    # codec layer — same verdict, evidence, replay report and modelled costs.
+    assert result.identical
+    assert result.verdict == "pass"
+    # Headline perf claims.  The tiny smoke log still shows the same shape
+    # (measured ~3.5x / ~1.5x) but with less margin, so it asserts reduced
+    # thresholds; the full-scale floors are the documented claims.
+    assert result.decode_ratio >= scaled(3.0, 2.2)
+    assert result.stream_decode_ratio >= scaled(3.0, 2.2)
+    assert result.e2e_ratio >= scaled(1.5, 1.15)
+    # v2 trades stored bytes for speed; the archive records the v1-modelled
+    # size, so the audit cost model is unchanged — but the trade must be
+    # visible, not accidental.
+    assert result.stored_ratio > 1.0
+    # The profile explains the numbers: v1 decode pays bz2, v2 does not.
+    v1_functions = " ".join(str(row["function"])
+                            for row in result.points[1].decode_profile)
+    v2_functions = " ".join(str(row["function"])
+                            for row in result.points[2].decode_profile)
+    assert "bz2" in v1_functions.lower()
+    assert "bz2" not in v2_functions.lower()

@@ -3,9 +3,10 @@
 Audits one machine's archived log both ways (see
 :mod:`repro.experiments.stream_audit`) and asserts the streaming pipeline's
 contract: structurally identical results, >= 5x lower peak traced memory
-once the shared bzip2-9 compressor floor is accounted for (and >= 5x raw at
-full scale, where O(log) terms dwarf that fixed ~7.5 MB working set), and
-throughput within 0.9x of the materializing path.
+once the bzip2-9 compressor floor the materializing cost model pays is
+accounted for (and >= 5x raw at full scale, where O(log) terms dwarf that
+fixed ~7.5 MB working set), and throughput within 0.9x of the
+materializing path.
 """
 
 from _bench_utils import duration_or, scaled, smoke_mode

@@ -150,12 +150,15 @@ class ScenarioMatrix:
 
     def __init__(self, workers: int = 2, executor: str = "thread",
                  duration: float = 4.0, snapshot_interval: float = 1.0,
-                 base_seed: int = 1000) -> None:
+                 base_seed: int = 1000, ship_format_version: int = 1) -> None:
         self.workers = workers
         self.executor = executor
         self.duration = duration
         self.snapshot_interval = snapshot_interval
         self.base_seed = base_seed
+        #: wire codec the archive-mode fleets ship segments in
+        #: (:mod:`repro.log.codec`); detection rows must not depend on it
+        self.ship_format_version = ship_format_version
 
     # -- cell enumeration ---------------------------------------------------
 
@@ -310,8 +313,7 @@ class ScenarioMatrix:
             byzantine="player1", duration=self.duration, ingest=ingest)
         return ctx, session.run
 
-    @staticmethod
-    def _attach_archive(monitors: Dict[str, AccountableVMM],
+    def _attach_archive(self, monitors: Dict[str, AccountableVMM],
                         network: SimulatedNetwork,
                         archive_dir: Optional[str]
                         ) -> Optional[AuditIngestService]:
@@ -319,7 +321,8 @@ class ScenarioMatrix:
             return None
         ingest = AuditIngestService(LogArchive(archive_dir), network=network)
         for monitor in monitors.values():
-            monitor.attach_archive_shipper(ingest.identity)
+            monitor.attach_archive_shipper(
+                ingest.identity, format_version=self.ship_format_version)
         return ingest
 
     def _attach_online(self, ctx: ScenarioContext) -> Dict[str, OnlineAuditor]:

@@ -26,7 +26,7 @@ from repro.avmm.monitor import AccountableVMM
 from repro.crypto.keys import KeyStore
 from repro.errors import AuditError, AuthenticatorMismatchError, HashChainError
 from repro.log.authenticator import Authenticator
-from repro.log.compression import VmmLogCompressor
+from repro.log.codec import modelled_compressed_log_bytes
 from repro.log.segments import LogSegment
 from repro.metrics.perfmodel import CostParameters
 from repro.vm.image import VMImage
@@ -54,7 +54,6 @@ class Auditor:
         self.workers = workers
         self._engine = engine
         self.collected_authenticators: Dict[str, List[Authenticator]] = {}
-        self._compressor = VmmLogCompressor()
 
     @property
     def engine(self) -> Optional["AuditScheduler"]:
@@ -198,9 +197,15 @@ class Auditor:
     # -- helpers ----------------------------------------------------------------------
 
     def _download_cost(self, segment: LogSegment, snapshot_bytes: int) -> AuditCost:
-        """Model the transfer/processing cost of obtaining this segment."""
+        """Model the transfer/processing cost of obtaining this segment.
+
+        The compressed size is the cost model's canonical number
+        (:func:`repro.log.codec.modelled_compressed_log_bytes`): a pure
+        function of the entries, so serial, engine and streaming audits of
+        the same log charge the same download regardless of wire format.
+        """
         raw_bytes = segment.size_bytes()
-        compressed = len(self._compressor.compress(segment)) if segment.entries else 0
+        compressed = modelled_compressed_log_bytes(segment)
         params = self.cost_params
         return AuditCost(
             log_bytes_downloaded=raw_bytes,

@@ -61,7 +61,7 @@ from repro.crypto.keys import StaticKeyView
 from repro.crypto.signatures import get_scheme
 from repro.errors import HashChainError, MissingSnapshotError, SegmentError
 from repro.log.authenticator import Authenticator, batch_verify_authenticators
-from repro.log.compression import VmmLogCompressor
+from repro.log.codec import modelled_compressed_log_bytes
 from repro.log.entries import EntryType
 from repro.log.hashchain import ChainCheckpoint, verify_chain_incremental
 from repro.log.segments import LogSegment, concatenate_segments, partition_segments
@@ -221,8 +221,7 @@ def _chunk_download_cost(segment: LogSegment, snapshot_bytes: int,
                          params: CostParameters) -> AuditCost:
     """Transfer/processing cost of obtaining one chunk (cf. Auditor._download_cost)."""
     raw_bytes = segment.size_bytes()
-    compressed = (len(VmmLogCompressor().compress(segment))
-                  if segment.entries else 0)
+    compressed = modelled_compressed_log_bytes(segment)
     return AuditCost(
         log_bytes_downloaded=raw_bytes,
         compressed_log_bytes=compressed,

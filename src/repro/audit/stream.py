@@ -2,8 +2,9 @@
 
 The paper's accountability guarantee is only deployable at fleet scale if
 auditing a machine's log does not require holding that log in memory.  The
-materializing path (``LogArchive.full_segment`` → :meth:`Auditor.audit_segment
-<repro.audit.auditor.Auditor.audit_segment>`) inflates every archived entry
+materializing path (``LogArchive.materialized_log`` →
+:meth:`Auditor.audit_segment <repro.audit.auditor.Auditor.audit_segment>`)
+inflates every archived entry
 into one giant in-memory :class:`~repro.log.segments.LogSegment` before any
 check runs, so peak auditor memory grows with log *length*.  This module
 replaces it with a pull-based pipeline whose peak memory is one *chunk* (a
@@ -13,10 +14,10 @@ run of snapshot-delimited archived segments) plus O(1) checkpoints:
    compressed segment files (:meth:`LogArchive.stream_segment
    <repro.store.archive.LogArchive.stream_segment>`, built on the streaming
    idiom of :func:`repro.log.storage.iter_segment_entries`);
-2. **chain verify** — each entry extends a running
-   :class:`~repro.log.hashchain.ChainCheckpoint`
-   (:func:`~repro.log.hashchain.extend_checkpoint`), so tamper evidence needs
-   no look-back;
+2. **chain verify** — each decoded segment extends a running
+   :class:`~repro.log.hashchain.ChainCheckpoint` in one batch
+   (:func:`~repro.log.hashchain.extend_checkpoint_batch`), so tamper
+   evidence needs no look-back;
 3. **commitment check** — authenticators are batch-verified in sliding
    windows (:func:`~repro.log.authenticator.batch_verify_authenticators`) as
    their chunk streams past;
@@ -31,9 +32,12 @@ run of snapshot-delimited archived segments) plus O(1) checkpoints:
 **Equivalence guarantee.**  A passing streamed audit produces an
 :class:`~repro.audit.verdict.AuditResult` *structurally identical* — same
 verdict, counters, replay report and modelled :class:`~repro.audit.verdict.
-AuditCost`, including the byte-exact compressed log size via
-:class:`~repro.log.compression.IncrementalCompressionMeter` — to what the
-serial materializing audit of the same archive produces.  Any detected fault
+AuditCost`, including the modelled compressed log size via
+:class:`~repro.log.codec.ModelledCostAccumulator` (which reproduces
+:func:`~repro.log.codec.modelled_compressed_log_bytes` exactly, whatever the
+chunking, and serves sub-segment sizes from the archive manifest instead of
+recompressing) — to what the serial materializing audit of the same archive
+produces.  Any detected fault
 (or inability to stream, e.g. an unverifiable boundary snapshot) falls back
 to the materializing serial audit so failure verdicts and evidence are
 *canonical*: exactly the optimistic-fast-path/serial-confirm design of the
@@ -57,9 +61,13 @@ from repro.errors import (
     ReproError,
     StoreError,
 )
-from repro.log.compression import IncrementalCompressionMeter
+from repro.log.codec import ModelledCostAccumulator
 from repro.log.entries import EntryType, LogEntry
-from repro.log.hashchain import ChainCheckpoint, extend_checkpoint
+from repro.log.hashchain import (
+    ChainCheckpoint,
+    extend_checkpoint,
+    extend_checkpoint_batch,
+)
 from repro.log.segments import LogSegment
 from repro.log.authenticator import batch_verify_authenticators
 
@@ -229,13 +237,13 @@ def iter_stream_chunks(target, max_chunks: Optional[int] = None,
         start_checkpoint = checkpoint
         entries: List[LogEntry] = []
         for record in chunk_records:
+            record_entries = list(archive.stream_segment(record))
             if verify_chain:
-                for entry in archive.stream_segment(record):
-                    checkpoint = extend_checkpoint(checkpoint, entry)
-                    entries.append(entry)
+                checkpoint = extend_checkpoint_batch(checkpoint,
+                                                     record_entries)
             else:
-                entries.extend(archive.stream_segment(record))
                 checkpoint = record.end_checkpoint()
+            entries.extend(record_entries)
         yield StreamChunk(
             index=index,
             segment=LogSegment(machine=machine, entries=entries,
@@ -472,7 +480,9 @@ class StreamingAuditPipeline:
         semantic = SemanticChecker(auditor.reference_image, auditor.cost_params)
         cross = StreamingCrossChecker()
         start = target.start_checkpoint()
-        meter = IncrementalCompressionMeter(machine, start.chain_hash)
+        meter = ModelledCostAccumulator(
+            machine, start.chain_hash,
+            size_hint=getattr(target, "wire_size_hint", None))
 
         merged = ReplayReport(machine=machine)
         active_buckets: Set[int] = set()

@@ -32,7 +32,7 @@ from repro.avmm.recorder import ExecutionRecorder
 from repro.crypto.keys import KeyPair, KeyStore
 from repro.errors import VMError
 from repro.log.authenticator import Authenticator
-from repro.log.compression import VmmLogCompressor
+from repro.log.codec import get_codec, require_format_version
 from repro.log.entries import EntryType, ack_content, recv_content, send_content
 from repro.log.segments import LogSegment
 from repro.log.storage import authenticators_to_bytes
@@ -126,6 +126,7 @@ class AccountableVMM:
         #: archive shipping state (attach_archive_shipper)
         self._archive_destination: Optional[str] = None
         self._archive_ship_authenticators = True
+        self._archive_format_version = 1
         self._shipped_through = 0
         self._shipped_auth_counts: Dict[str, int] = {}
         #: snapshot ids whose shipment was dropped and must be re-sent in
@@ -404,22 +405,27 @@ class AccountableVMM:
     # ------------------------------------------------------------------ archive shipping
 
     def attach_archive_shipper(self, destination: str,
-                               ship_authenticators: bool = True) -> None:
+                               ship_authenticators: bool = True,
+                               format_version: int = 1) -> None:
         """Stream sealed log state to an archive service (Section 4.2 durably).
 
         After every snapshot the segment it seals — the entries since the
-        previous seal, ending with the SNAPSHOT entry — is compressed and
-        sent to ``destination`` (an :class:`~repro.service.ingest.
-        AuditIngestService` endpoint), preceded by the snapshot state so the
-        archive can later start replays at the boundary.  With
-        ``ship_authenticators`` the authenticators collected from peers ride
-        along, filed under their issuer.  Shipping is fire-and-forget over
-        the ordinary simulated network; the archive verifies the hash chain
-        on arrival, so a lost or tampered shipment is detected, never
-        silently archived.
+        previous seal, ending with the SNAPSHOT entry — is encoded with the
+        wire codec selected by ``format_version`` (see
+        :mod:`repro.log.codec`; the ingest service sniffs the codec magic,
+        so mixed-format fleets interoperate) and sent to ``destination``
+        (an :class:`~repro.service.ingest.AuditIngestService` endpoint),
+        preceded by the snapshot state so the archive can later start
+        replays at the boundary.  With ``ship_authenticators`` the
+        authenticators collected from peers ride along, filed under their
+        issuer.  Shipping is fire-and-forget over the ordinary simulated
+        network; the archive verifies the hash chain on arrival, so a lost
+        or tampered shipment is detected, never silently archived.
         """
         self._archive_destination = destination
         self._archive_ship_authenticators = ship_authenticators
+        self._archive_format_version = require_format_version(
+            format_version, what="log codec")
         # A (re)attached archive holds none of our snapshots yet: the next
         # snapshot shipped must carry full state, or its delta would
         # reference a base the archive never saw (attach-mid-run case).
@@ -482,7 +488,8 @@ class AccountableVMM:
         headers = {"sealed_by_snapshot": snapshot_id} if snapshot_delivered else {}
         accepted = self.network.send(NetworkMessage(
             source=self.identity, destination=self._archive_destination,
-            payload=VmmLogCompressor().compress(segment),
+            payload=get_codec(self._archive_format_version
+                              ).encode_segment(segment),
             kind=MessageKind.ARCHIVE_SEGMENT, headers=headers))
         if not accepted:
             # Dropped at send time (loss/partition): keep the shipping cursor

@@ -20,8 +20,11 @@ the examples and EXPERIMENTS.md use the same code paths.
 | Section 6.7 (network traffic) | :mod:`repro.experiments.sec67_traffic` |
 
 Beyond the paper: :mod:`repro.experiments.parallel_audit` (the batch-audit
-engine speedup) and :mod:`repro.experiments.archive_ingest` (the durable
-archive + audit-ingest pipeline lifecycle).
+engine speedup), :mod:`repro.experiments.archive_ingest` (the durable
+archive + audit-ingest pipeline lifecycle),
+:mod:`repro.experiments.stream_audit` (streaming vs materializing audit)
+and :mod:`repro.experiments.codec_bench` (the v1 vs v2 wire-codec
+head-to-head).
 """
 
 from repro.experiments.harness import GameSession, GameSessionSettings, format_table

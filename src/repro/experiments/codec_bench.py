@@ -1,0 +1,307 @@
+"""Wire-codec head-to-head: v1 (JSON+bz2) vs v2 (binary) on the hot path.
+
+Records one byte-dense hosted-database pair (fat row payloads, frequent
+snapshots), archives it through the ingest pipeline in ``format_version=1``,
+re-encodes the archive to ``format_version=2``, and then measures the three
+stages the codec sits on:
+
+* **ship** — :meth:`~repro.log.codec.LogCodec.encode_segment` over every
+  archived segment (what a monitor pays per sealed shipment);
+* **decode** — one-shot :func:`~repro.log.codec.decode_segment` of every
+  stored blob, and the chunked :class:`~repro.log.codec.SegmentStreamDecoder`
+  path the streaming audit rides;
+* **audit** — the end-to-end streaming audit
+  (:func:`~repro.audit.stream.stream_audit`) of the same machine from each
+  archive.
+
+Every wall clock is the best of ``repetitions`` runs.  The two audits must be
+structurally identical — same verdict, counters, replay report and modelled
+:class:`~repro.audit.verdict.AuditCost` — which is the codec API's core
+contract: the wire format is invisible above the codec layer.
+
+A ``cProfile`` pass over each format's decode loop is kept in the result
+(top functions by cumulative time) so the numbers are explainable: v1 decode
+is dominated by bz2 decompression + JSON row parsing, v2 by the single
+``json.loads`` per entry content — the struct-packed framing itself is noise.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.audit.stream import StreamAuditReport, stream_audit
+from repro.experiments.harness import format_table
+from repro.experiments.parallel_audit import build_fleet
+from repro.log.codec import SegmentStreamDecoder, decode_segment, get_codec
+from repro.service.ingest import AuditIngestService
+from repro.store.archive import LogArchive
+from repro.workloads.sqlbench import SqlBenchSettings
+
+#: chunk size fed to the streaming decoder (network-ish read granularity)
+STREAM_CHUNK_BYTES = 64 * 1024
+
+
+@dataclass
+class FormatPoint:
+    """One wire format's measurements over the same recorded log."""
+
+    format_version: int
+    stored_bytes: int
+    encode_wall: float = 0.0
+    decode_wall: float = 0.0
+    stream_decode_wall: float = 0.0
+    audit_wall: float = 0.0
+    #: top decode hotspots, by cumulative time: {function, cumulative_s,
+    #: tottime_s, calls}
+    decode_profile: List[Dict[str, object]] = field(default_factory=list)
+
+
+@dataclass
+class CodecBenchResult:
+    """Everything the codec benchmark measured."""
+
+    duration: float
+    payload_bytes: int
+    segments: int
+    entries: int
+    raw_bytes: int
+    points: Dict[int, FormatPoint] = field(default_factory=dict)
+    #: v1 and v2 streaming audits structurally identical, both PASS
+    identical: bool = False
+    verdict: str = ""
+
+    def _ratio(self, attribute: str) -> float:
+        v1 = getattr(self.points[1], attribute)
+        v2 = getattr(self.points[2], attribute)
+        return v1 / v2 if v2 > 0 else 0.0
+
+    @property
+    def decode_ratio(self) -> float:
+        """One-shot decode speedup of v2 over v1 (>1 means v2 is faster)."""
+        return self._ratio("decode_wall")
+
+    @property
+    def stream_decode_ratio(self) -> float:
+        return self._ratio("stream_decode_wall")
+
+    @property
+    def encode_ratio(self) -> float:
+        return self._ratio("encode_wall")
+
+    @property
+    def e2e_ratio(self) -> float:
+        """End-to-end streaming-audit speedup of v2 over v1."""
+        return self._ratio("audit_wall")
+
+    @property
+    def stored_ratio(self) -> float:
+        """v2 stored bytes over v1 stored bytes (the price of no bz2)."""
+        v1 = self.points[1].stored_bytes
+        return self.points[2].stored_bytes / v1 if v1 > 0 else 0.0
+
+    def entries_per_second(self, format_version: int, attribute: str) -> float:
+        wall = getattr(self.points[format_version], attribute)
+        return self.entries / wall if wall > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable summary (the ``BENCH_codec.json`` payload)."""
+        formats = {}
+        for version, point in sorted(self.points.items()):
+            formats[f"v{version}"] = {
+                "stored_bytes": point.stored_bytes,
+                "encode_wall_s": round(point.encode_wall, 6),
+                "decode_wall_s": round(point.decode_wall, 6),
+                "stream_decode_wall_s": round(point.stream_decode_wall, 6),
+                "stream_audit_wall_s": round(point.audit_wall, 6),
+                "decode_entries_per_s": round(
+                    self.entries_per_second(version, "decode_wall"), 1),
+                "encode_entries_per_s": round(
+                    self.entries_per_second(version, "encode_wall"), 1),
+                "decode_top_functions": point.decode_profile,
+            }
+        return {
+            "benchmark": "bench_codec",
+            "workload": {
+                "duration_s": self.duration,
+                "payload_bytes": self.payload_bytes,
+                "segments": self.segments,
+                "entries": self.entries,
+                "raw_bytes": self.raw_bytes,
+            },
+            "formats": formats,
+            "ratios": {
+                "decode": round(self.decode_ratio, 3),
+                "stream_decode": round(self.stream_decode_ratio, 3),
+                "encode": round(self.encode_ratio, 3),
+                "stream_audit_e2e": round(self.e2e_ratio, 3),
+                "stored_bytes_v2_over_v1": round(self.stored_ratio, 3),
+            },
+            "audits_identical": self.identical,
+            "verdict": self.verdict,
+        }
+
+
+def _best_wall(fn: Callable[[], object], repetitions: int) -> float:
+    walls = []
+    for _ in range(max(1, repetitions)):
+        started = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - started)
+    return min(walls)
+
+
+def _top_functions(profiler: cProfile.Profile,
+                   limit: int = 6) -> List[Dict[str, object]]:
+    """The profile's top functions by cumulative time, JSON-friendly."""
+    rows = []
+    entries = sorted(profiler.getstats(),
+                     key=lambda row: row.totaltime, reverse=True)
+    for row in entries:
+        code = row.code
+        if isinstance(code, str):
+            name = code
+        else:
+            name = (f"{Path(code.co_filename).name}:"
+                    f"{code.co_firstlineno}({code.co_name})")
+        rows.append({"function": name,
+                     "cumulative_s": round(row.totaltime, 4),
+                     "tottime_s": round(row.inlinetime, 4),
+                     "calls": row.callcount})
+        if len(rows) >= limit:
+            break
+    return rows
+
+
+def run_codec_bench(duration: float = 30.0, payload_bytes: int = 16000,
+                    snapshot_interval: float = 0.5, seed: int = 17,
+                    repetitions: int = 3, chunks: Optional[int] = 20,
+                    root: Optional[str] = None) -> CodecBenchResult:
+    """Record once, store in both formats, measure ship/decode/audit."""
+    workdir = Path(root) if root is not None else Path(
+        tempfile.mkdtemp(prefix="avm-codec-bench-"))
+    cleanup = root is None
+    try:
+        return _run(duration, payload_bytes, snapshot_interval, seed,
+                    repetitions, chunks, workdir)
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _run(duration: float, payload_bytes: int, snapshot_interval: float,
+         seed: int, repetitions: int, chunks: Optional[int],
+         workdir: Path) -> CodecBenchResult:
+    fleet = build_fleet(
+        num_machines=2, duration=duration, seed=seed,
+        snapshot_interval=snapshot_interval,
+        archive=LogArchive(workdir / "v1"),
+        client_settings=SqlBenchSettings(
+            server="", operations_per_tick=6, tick_interval=0.25,
+            rows_per_phase=4, payload_bytes=payload_bytes))
+    roots = {1: workdir / "v1"}
+    roots[2] = workdir / "v2"
+    LogArchive(roots[1]).reencode_segments(roots[2], format_version=2)
+
+    archive = LogArchive(roots[1])
+    machine = next(name for name in archive.machines() if "server" in name)
+    records = archive.segment_records(machine)
+    result = CodecBenchResult(
+        duration=duration, payload_bytes=payload_bytes,
+        segments=len(records),
+        entries=archive.entry_count(machine),
+        raw_bytes=sum(record.raw_bytes for record in records))
+
+    reports: Dict[int, StreamAuditReport] = {}
+    for version in (1, 2):
+        versioned = LogArchive(roots[version])
+        blobs = [(versioned.root / record.file_name).read_bytes()
+                 for record in versioned.segment_records(machine)]
+        segments = [decode_segment(blob) for blob in blobs]
+        codec = get_codec(version)
+        point = FormatPoint(format_version=version,
+                            stored_bytes=sum(len(blob) for blob in blobs))
+
+        def decode_all() -> None:
+            for blob in blobs:
+                decode_segment(blob)
+
+        def stream_decode_all() -> None:
+            for blob in blobs:
+                decoder = SegmentStreamDecoder()
+                for _ in decoder.entries(
+                        blob[offset:offset + STREAM_CHUNK_BYTES]
+                        for offset in range(0, len(blob),
+                                            STREAM_CHUNK_BYTES)):
+                    pass
+
+        def encode_all() -> None:
+            for segment in segments:
+                codec.encode_segment(segment)
+
+        service = AuditIngestService(versioned)
+        target = service.target_for(machine)
+
+        def run_streaming() -> StreamAuditReport:
+            auditor = fleet.make_auditor(machine, collect=False)
+            service.prepare_auditor(auditor, machine)
+            return stream_audit(auditor, target, max_chunks=chunks)
+
+        reports[version] = run_streaming()
+        point.decode_wall = _best_wall(decode_all, repetitions)
+        point.stream_decode_wall = _best_wall(stream_decode_all, repetitions)
+        point.encode_wall = _best_wall(encode_all, repetitions)
+        point.audit_wall = _best_wall(run_streaming, repetitions)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        decode_all()
+        profiler.disable()
+        point.decode_profile = _top_functions(profiler)
+        result.points[version] = point
+
+    result.verdict = reports[1].result.verdict.value
+    result.identical = (reports[1].result == reports[2].result
+                        and reports[1].result.verdict.value == "pass")
+    return result
+
+
+def main(duration: float = 30.0, payload_bytes: int = 16000
+         ) -> CodecBenchResult:
+    """Print the codec head-to-head table."""
+    result = run_codec_bench(duration=duration, payload_bytes=payload_bytes)
+    print(f"Wire codec head-to-head: {result.segments}-segment archived run, "
+          f"{result.entries} entries, {result.raw_bytes / 1e6:.1f} MB raw\n")
+    rows = []
+    for version in (1, 2):
+        point = result.points[version]
+        rows.append((
+            f"v{version}",
+            f"{point.stored_bytes:,}",
+            f"{result.entries_per_second(version, 'encode_wall'):,.0f}",
+            f"{result.entries_per_second(version, 'decode_wall'):,.0f}",
+            f"{result.entries_per_second(version, 'stream_decode_wall'):,.0f}",
+            f"{point.audit_wall:.3f} s"))
+    print(format_table(
+        ["format", "stored bytes", "encode e/s", "decode e/s",
+         "stream e/s", "stream audit"], rows))
+    print(f"\nv2 speedup: decode {result.decode_ratio:.2f}x, streaming "
+          f"decode {result.stream_decode_ratio:.2f}x, encode "
+          f"{result.encode_ratio:.2f}x, end-to-end streaming audit "
+          f"{result.e2e_ratio:.2f}x")
+    print(f"stored-size cost: v2 is {result.stored_ratio:.2f}x v1 bytes")
+    print(f"audits identical across formats: {result.identical}")
+    for version in (1, 2):
+        print(f"\nv{version} decode hotspots (cProfile, cumulative):")
+        for row in result.points[version].decode_profile:
+            print(f"  {row['cumulative_s']:8.3f} s  {row['calls']:>8} calls  "
+                  f"{row['function']}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

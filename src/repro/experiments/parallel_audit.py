@@ -79,8 +79,8 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
                 snapshot_interval: Optional[float] = 10.0,
                 archive: Optional[LogArchive] = None,
                 ingest_identity: str = DEFAULT_INGEST_IDENTITY,
-                client_settings: Optional[SqlBenchSettings] = None
-                ) -> AuditFleet:
+                client_settings: Optional[SqlBenchSettings] = None,
+                ship_format_version: int = 1) -> AuditFleet:
     """Record a fleet of ``num_machines`` (server+client pairs) for auditing.
 
     With an ``archive``, an :class:`~repro.service.ingest.AuditIngestService`
@@ -91,7 +91,10 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
     machine's complete log.  ``client_settings`` overrides the benchmark
     clients' workload shape (its ``server`` field is replaced per pair); the
     streaming-audit bench uses it to fatten row payloads so raw log bytes
-    grow without growing entry counts.
+    grow without growing entry counts.  ``ship_format_version`` selects the
+    wire codec the monitors ship segments in (:mod:`repro.log.codec`); the
+    archive's own ``format_version`` independently controls the stored
+    format, so mixed ship/store configurations are expressible.
     """
     if num_machines < 2 or num_machines % 2:
         raise ValueError(f"fleet size must be an even number >= 2, got {num_machines}")
@@ -134,7 +137,8 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
         ingest = AuditIngestService(archive, identity=ingest_identity,
                                     network=network)
         for monitor in monitors.values():
-            monitor.attach_archive_shipper(ingest_identity)
+            monitor.attach_archive_shipper(
+                ingest_identity, format_version=ship_format_version)
 
     for monitor in monitors.values():
         monitor.start()

@@ -14,12 +14,14 @@ audits the server's archived log twice:
 
 Both paths are timed (best of ``repetitions``) and measured with
 ``tracemalloc``; the results must be *structurally identical*.  One caveat
-the numbers make visible: both paths run the paper's bzip2-9 compression for
-the modelled download cost, and bzip2-9's block-transform working set is a
-fixed ~7.5 MB (level × ~830 KB) regardless of input size.  That floor is
-shared — the streaming path holds it during metering, the materializing path
-during its one-shot compress — so the experiment reports the peak ratio both
-raw and with the measured floor subtracted (``data_peak_ratio``); on a long
+the numbers make visible: the modelled download cost is stated in
+v1-compressed bytes, and bzip2-9's block-transform working set is a fixed
+~7.5 MB (level × ~830 KB) regardless of input size.  The materializing
+path always pays that floor during its recompression; the streaming
+accumulator (:class:`~repro.log.codec.ModelledCostAccumulator`) usually
+answers from the archive manifest's exact-span size hints and only pays it
+on a hint miss.  The experiment therefore reports the peak ratio both raw
+and with the measured floor subtracted (``data_peak_ratio``); on a long
 run the raw ratio clears 5x as well, because the materializing path's
 O(log) terms dwarf the constant.
 """

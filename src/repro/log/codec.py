@@ -1,0 +1,1032 @@
+"""Versioned log codecs: the wire formats of the record/ship/audit hot path.
+
+Every byte of tamper-evident log that crosses a machine boundary — shipped to
+the archive service, stored in a segment file, or streamed to an auditor —
+goes through a :class:`LogCodec`.  A codec owns one *wire format*, named by an
+integer ``format_version`` and an 8-byte magic, and provides four layers of
+API:
+
+* **entry level** — :meth:`~LogCodec.encode_entry` / :meth:`~LogCodec.
+  decode_entry` turn one :class:`~repro.log.entries.LogEntry` into its wire
+  payload and back;
+* **framing** — :meth:`~LogCodec.frame` wraps a payload into a
+  self-delimiting frame and :meth:`~LogCodec.iter_frames` splits a decoded
+  segment body back into payloads;
+* **segment level** — :meth:`~LogCodec.encode_segment` / :meth:`~LogCodec.
+  decode_segment` handle a whole :class:`~repro.log.segments.LogSegment`
+  (header + frames);
+* **streaming** — :meth:`~LogCodec.stream_decoder` returns an incremental
+  decoder that yields entries as byte chunks arrive, in O(chunk) memory.
+
+Two formats are registered:
+
+* ``format_version=1`` (:class:`JsonBz2Codec`, magic ``AVMLOGZ1``) — the
+  original VMM-specific JSON pre-pass + bzip2 pipeline.  Byte-for-byte
+  compatible with every archive written before this module existed.
+* ``format_version=2`` (:class:`BinaryCodec`, magic ``AVMLOGB2``) — a
+  little-endian struct-packed binary format with length-prefixed frames and
+  ``memoryview``-based zero-copy decode.  No compression stage: the decode
+  hot path is a ``struct.unpack_from`` plus one ``json.loads`` of the
+  verbatim canonical content bytes, and the chain hash is verified over
+  those exact bytes, so a frame that passes chain verification is authentic
+  by collision resistance.
+
+The registry (:func:`get_codec`, :func:`codec_for_data`) keys codecs by
+``format_version`` and sniffs stored blobs by magic; every
+"unsupported format version" error in the repo routes through
+:func:`require_format_version` so callers always see one well-typed
+:class:`~repro.errors.LogFormatError`.
+
+The module also owns the audit cost model's canonical compressed-log size
+(:func:`modelled_compressed_log_bytes`): the sum, over the snapshot-delimited
+sub-segments of the audited range, of the v1-compressed size of each
+sub-segment.  It is a pure function of the entries — independent of wire
+format, chunking, and shipment history — so serial, engine and streaming
+audits of the same log model the same download cost, and archives can serve
+it from their manifests without recompressing (see
+:meth:`~repro.store.archive.LogArchive.cached_wire_bytes`).
+"""
+
+from __future__ import annotations
+
+import bz2
+import codecs
+import json
+import struct
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Type,
+    Union,
+)
+
+from repro.errors import LogFormatError
+from repro.log.entries import (
+    EntryType,
+    LogEntry,
+    seed_encoded_content,
+)
+from repro.log.segments import LogSegment
+
+__all__ = [
+    "LogCodec",
+    "JsonBz2Codec",
+    "BinaryCodec",
+    "SegmentStreamDecoder",
+    "MAGIC_LENGTH",
+    "register_codec",
+    "get_codec",
+    "codec_for_data",
+    "sniff_format_version",
+    "supported_format_versions",
+    "require_format_version",
+    "segment_suffix",
+    "encode_segment",
+    "decode_segment",
+    "iter_snapshot_subsegments",
+    "modelled_compressed_log_bytes",
+    "ModelledCostAccumulator",
+]
+
+#: every codec magic is exactly this long, so sniffing needs 8 bytes
+MAGIC_LENGTH = 8
+
+
+# ---------------------------------------------------------------------------
+# The interface and the registry
+# ---------------------------------------------------------------------------
+
+class LogCodec:
+    """One wire format for tamper-evident log segments.
+
+    Codec instances are cheap and *stateful at the entry level*: the v1
+    row codec delta-encodes execution counters across
+    :meth:`encode_entry` / :meth:`decode_entry` calls, so use a fresh
+    instance (``get_codec(version)``) per segment.  The segment-level
+    methods reset their own state and are safe to call repeatedly on one
+    instance.
+    """
+
+    #: integer wire-format version (the registry key)
+    format_version: ClassVar[int]
+    #: 8-byte magic prefix of every stored/shipped blob in this format
+    MAGIC: ClassVar[bytes]
+    #: archive segment-file suffix for this format
+    SUFFIX: ClassVar[str]
+
+    # -- entry level ---------------------------------------------------------
+
+    def encode_entry(self, entry: LogEntry) -> bytes:
+        """One entry's wire payload (no framing)."""
+        raise NotImplementedError
+
+    def decode_entry(self, payload: Union[bytes, memoryview]) -> LogEntry:
+        """Inverse of :meth:`encode_entry` (same instance, same order)."""
+        raise NotImplementedError
+
+    # -- framing -------------------------------------------------------------
+
+    def frame(self, payload: bytes) -> bytes:
+        """Wrap one payload into a self-delimiting frame."""
+        raise NotImplementedError
+
+    def iter_frames(self, body: Union[bytes, memoryview]
+                    ) -> Iterator[Union[bytes, memoryview]]:
+        """Split a segment body (everything after the header) into payloads."""
+        raise NotImplementedError
+
+    # -- segment level -------------------------------------------------------
+
+    def encode_segment(self, segment: LogSegment) -> bytes:
+        """Serialise a whole segment (magic + header + frames)."""
+        raise NotImplementedError
+
+    def decode_segment(self, data: Union[bytes, memoryview]) -> LogSegment:
+        """Inverse of :meth:`encode_segment`."""
+        raise NotImplementedError
+
+    # -- streaming -----------------------------------------------------------
+
+    def stream_decoder(self) -> "_StreamDecoderBase":
+        """A fresh incremental decoder for this format."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[int, Type[LogCodec]] = {}
+
+
+def register_codec(codec_class: Type[LogCodec]) -> Type[LogCodec]:
+    """Register a codec class under its ``format_version`` (also a decorator)."""
+    version = codec_class.format_version
+    if len(codec_class.MAGIC) != MAGIC_LENGTH:
+        raise ValueError(
+            f"codec magic must be {MAGIC_LENGTH} bytes, "
+            f"got {codec_class.MAGIC!r}")
+    _REGISTRY[version] = codec_class
+    return codec_class
+
+
+def supported_format_versions() -> List[int]:
+    """The registered wire-format versions, ascending."""
+    return sorted(_REGISTRY)
+
+
+def require_format_version(value, *, what: str = "log",
+                           supported: Optional[Iterable[int]] = None) -> int:
+    """Validate a ``format_version`` field; the repo's single version check.
+
+    ``supported`` defaults to the codec registry; callers with their own
+    version space (the JSON-lines debug format, the archive manifest) pass
+    theirs explicitly.  Raises :class:`LogFormatError` — one well-typed
+    error class for every unsupported-version failure, whatever the call
+    site.
+    """
+    versions = sorted(supported) if supported is not None else \
+        supported_format_versions()
+    if value not in versions:
+        raise LogFormatError(
+            f"unsupported {what} format version {value!r} "
+            f"(supported: {', '.join(str(v) for v in versions)})")
+    return int(value)
+
+
+def get_codec(format_version: int) -> LogCodec:
+    """A fresh codec instance for ``format_version``.
+
+    Fresh because entry-level encode/decode carries per-segment state
+    (delta counters); raises :class:`LogFormatError` for unknown versions.
+    """
+    require_format_version(format_version, what="log codec")
+    return _REGISTRY[format_version]()
+
+
+def sniff_format_version(data: Union[bytes, memoryview]) -> int:
+    """Identify a stored/shipped blob's format by its magic."""
+    prefix = bytes(data[:MAGIC_LENGTH])
+    for version, codec_class in _REGISTRY.items():
+        if prefix == codec_class.MAGIC:
+            return version
+    raise LogFormatError("not a log segment blob (unrecognised codec magic)")
+
+
+def codec_for_data(data: Union[bytes, memoryview]) -> LogCodec:
+    """A fresh codec matching a blob's magic."""
+    return get_codec(sniff_format_version(data))
+
+
+def segment_suffix(format_version: int) -> str:
+    """The archive segment-file suffix for a format version."""
+    require_format_version(format_version, what="log codec")
+    return _REGISTRY[format_version].SUFFIX
+
+
+def encode_segment(segment: LogSegment, format_version: int = 1) -> bytes:
+    """Serialise a segment in the requested wire format."""
+    return get_codec(format_version).encode_segment(segment)
+
+
+def decode_segment(data: Union[bytes, memoryview]) -> LogSegment:
+    """Deserialise a segment blob, sniffing its format by magic."""
+    return codec_for_data(data).decode_segment(data)
+
+
+class _StreamDecoderBase:
+    """Protocol of the per-format incremental decoders.
+
+    ``header`` (a ``{"machine", "start_hash"}`` dict, hex-encoded hash) is
+    populated before the first entry is yielded; ``entry_count`` counts the
+    entries yielded so far.
+    """
+
+    def __init__(self) -> None:
+        self.header: Optional[Dict] = None
+        self.entry_count = 0
+
+    def entries(self, chunks: Iterable[bytes]) -> Iterator[LogEntry]:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# format_version=1 — the VMM-specific JSON pre-pass + bzip2 pipeline
+# ---------------------------------------------------------------------------
+#
+# One entry <-> one compact JSON row.  The row codec carries the
+# delta-encoding state (previous execution counter, previous sequence number)
+# across rows, so the whole-segment encoder and the streaming
+# encoder/decoder produce and consume *identical* rows: the streaming paths
+# are byte-exact with the materializing ones by construction.
+
+def _encode_v1_header(machine: str, start_hash: bytes) -> Dict:
+    return {"machine": machine, "start_hash": start_hash.hex()}
+
+
+class _RowCodec:
+    """Stateful per-entry row encoder/decoder (delta counters, dense seqs)."""
+
+    def __init__(self) -> None:
+        self._encode_counter = 0
+        self._encode_sequence: Optional[int] = None
+        self._decode_counter = 0
+        self._decode_sequence: Optional[int] = None
+
+    def encode_row(self, entry: LogEntry) -> Dict:
+        row: Dict = {"t": entry.entry_type.wire_name}
+        # Sequence numbers are dense; store only breaks in density.
+        if not (self._encode_sequence is not None
+                and entry.sequence == self._encode_sequence + 1):
+            row["s"] = entry.sequence
+        self._encode_sequence = entry.sequence
+        # Timestamps are bookkeeping only; store them verbatim so the
+        # round-trip is bit-exact (they still compress well under bzip2).
+        if entry.timestamp:
+            row["ts"] = entry.timestamp
+        content = dict(entry.content)
+        # Execution counters in replay entries are monotone; delta-encode.
+        counter = content.get("execution_counter")
+        if isinstance(counter, int):
+            row["dc"] = counter - self._encode_counter
+            self._encode_counter = counter
+            content.pop("execution_counter")
+        row["c"] = content
+        # Chain hashes are recomputable from content during decode *only*
+        # if we keep them; we keep them (lossless requirement) but they
+        # compress well under bzip2 because they are high-entropy anyway.
+        row["h"] = entry.chain_hash.hex()
+        row["p"] = entry.previous_hash.hex()
+        return row
+
+    def decode_row(self, row: Dict) -> LogEntry:
+        if "s" in row:
+            sequence = row["s"]
+        else:
+            sequence = (self._decode_sequence + 1
+                        if self._decode_sequence is not None else 1)
+        self._decode_sequence = sequence
+        content = dict(row["c"])
+        if "dc" in row:
+            self._decode_counter += row["dc"]
+            content["execution_counter"] = self._decode_counter
+        return LogEntry(
+            sequence=sequence,
+            entry_type=EntryType(row["t"]),
+            content=content,
+            chain_hash=bytes.fromhex(row["h"]),
+            previous_hash=bytes.fromhex(row["p"]),
+            timestamp=float(row.get("ts", 0.0)),
+        )
+
+
+@register_codec
+class JsonBz2Codec(LogCodec):
+    """``format_version=1``: delta/dictionary JSON pre-pass + bzip2."""
+
+    format_version = 1
+    MAGIC = b"AVMLOGZ1"
+    SUFFIX = ".avmlogz"
+
+    def __init__(self) -> None:
+        self._rows = _RowCodec()
+
+    # -- entry level ---------------------------------------------------------
+
+    def encode_entry(self, entry: LogEntry) -> bytes:
+        row = self._rows.encode_row(entry)
+        return json.dumps(row, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+
+    def decode_entry(self, payload: Union[bytes, memoryview]) -> LogEntry:
+        try:
+            row = json.loads(bytes(payload).decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise LogFormatError(f"corrupt v1 log row: {exc}") from exc
+        if not isinstance(row, dict):
+            raise LogFormatError("corrupt v1 log row: not an object")
+        try:
+            return self._rows.decode_row(row)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise LogFormatError(f"corrupt v1 log row: {exc}") from exc
+
+    # -- framing -------------------------------------------------------------
+    #
+    # v1 rows are elements of one JSON array, so they are self-delimiting by
+    # the JSON grammar: frame() is the identity and iter_frames() re-splits
+    # the (decompressed) blob body with a C-level raw_decode scan.
+
+    def frame(self, payload: bytes) -> bytes:
+        return payload
+
+    def iter_frames(self, body: Union[bytes, memoryview]
+                    ) -> Iterator[bytes]:
+        text = bytes(body).decode("utf-8")
+        scanner = _BlobScanner()
+        for row in scanner.feed(text):
+            yield json.dumps(row, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        scanner.finish()
+
+    # -- segment level -------------------------------------------------------
+
+    def encode_segment(self, segment: LogSegment) -> bytes:
+        rows_codec = _RowCodec()
+        rows = [rows_codec.encode_row(entry) for entry in segment.entries]
+        blob = {"header": _encode_v1_header(segment.machine,
+                                            segment.start_hash),
+                "rows": rows}
+        encoded = json.dumps(blob, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        return self.MAGIC + bz2.compress(encoded, 9)
+
+    def decode_segment(self, data: Union[bytes, memoryview]) -> LogSegment:
+        data = bytes(data)
+        if not data.startswith(self.MAGIC):
+            raise LogFormatError("not a VMM-compressed log (bad magic)")
+        try:
+            encoded = bz2.decompress(data[len(self.MAGIC):])
+        except (OSError, EOFError, ValueError) as exc:
+            raise LogFormatError(f"corrupt VMM-encoded log: {exc}") from exc
+        try:
+            blob = json.loads(encoded.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise LogFormatError(f"corrupt VMM-encoded log: {exc}") from exc
+        try:
+            header = blob["header"]
+            rows_codec = _RowCodec()
+            entries = [rows_codec.decode_row(row) for row in blob["rows"]]
+            return LogSegment(machine=str(header["machine"]),
+                              start_hash=bytes.fromhex(header["start_hash"]),
+                              entries=entries)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise LogFormatError(f"corrupt VMM-encoded log: {exc}") from exc
+
+    def stream_decoder(self) -> "_JsonStreamDecoder":
+        return _JsonStreamDecoder()
+
+
+class _JsonStreamDecoder(_StreamDecoderBase):
+    """Incrementally decode a v1 (VMM-compressed) segment from a byte stream.
+
+    Feeds the bzip2 stream through :class:`bz2.BZ2Decompressor` chunk by
+    chunk and scans the decompressed text with a small string-and-depth-aware
+    state machine, yielding one :class:`~repro.log.entries.LogEntry` at a
+    time; at no point is more than one compressed chunk plus one row held.
+    The strict layout produced by the compact, key-sorted encoder
+    (``{"header":{...},"rows":[...]}``) is *required*; anything else raises
+    :class:`LogFormatError`, exactly like the materializing decoder would.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._codec = _RowCodec()
+
+    def entries(self, chunks: Iterable[bytes]) -> Iterator[LogEntry]:
+        chunk_iter = iter(chunks)
+        magic_buffer = b""
+        magic = JsonBz2Codec.MAGIC
+        while len(magic_buffer) < len(magic):
+            piece = next(chunk_iter, None)
+            if piece is None:
+                break
+            magic_buffer += piece
+        if not magic_buffer.startswith(magic):
+            raise LogFormatError("not a VMM-compressed log (bad magic)")
+
+        decompressor = bz2.BZ2Decompressor()
+        utf8 = codecs.getincrementaldecoder("utf-8")()
+        scanner = _BlobScanner()
+
+        def feed(compressed: bytes) -> Iterator[LogEntry]:
+            if not compressed:
+                return
+            text = utf8.decode(decompressor.decompress(compressed))
+            for row in scanner.feed(text):
+                # The header precedes the first row in the encoded blob, so
+                # it is available before (not merely after) any entry is
+                # yielded — callers validate metadata up front.
+                if self.header is None:
+                    self.header = scanner.header
+                self.entry_count += 1
+                yield self._codec.decode_row(row)
+            if self.header is None and scanner.header is not None:
+                self.header = scanner.header
+
+        yield from feed(magic_buffer[len(magic):])
+        for piece in chunk_iter:
+            yield from feed(piece)
+        utf8.decode(b"", final=True)
+        if not decompressor.eof:
+            raise LogFormatError(
+                "truncated VMM-compressed log (bzip2 stream did not end)")
+        scanner.finish()
+        if self.header is None:
+            self.header = scanner.header
+
+
+class _BlobScanner:
+    """State machine over ``{"header":H,"rows":[R,R,...]}`` text.
+
+    Consumes arbitrarily split text fragments and emits each complete row as
+    a parsed dict.  Values are extracted with
+    :meth:`json.JSONDecoder.raw_decode` (a C-level scan, so streaming decode
+    keeps one-shot parsing speed); a decode error is indistinguishable from
+    a value split across fragments, so errors are held until the stream ends
+    — a malformed blob therefore raises :class:`LogFormatError` at
+    :meth:`finish`, like the one-shot decoder raises on its single parse.
+    """
+
+    _HEADER_PREFIX = '{"header":'
+    _ROWS_PREFIX = ',"rows":['
+
+    def __init__(self) -> None:
+        self.header: Optional[Dict] = None
+        self._decoder = json.JSONDecoder()
+        self._buffer = ""
+        self._state = "prefix"  # prefix -> header -> rows_prefix -> rows
+        #                          -> rows_separator -> suffix -> done
+
+    def feed(self, text: str) -> Iterator[Dict]:
+        self._buffer += text
+        while True:
+            if self._state == "prefix":
+                if not self._advance_literal(self._HEADER_PREFIX):
+                    return
+                self._state = "header"
+            elif self._state == "header":
+                value = self._extract_value()
+                if value is None:
+                    return
+                self.header = self._as_dict(value, "header")
+                self._state = "rows_prefix"
+            elif self._state == "rows_prefix":
+                if not self._advance_literal(self._ROWS_PREFIX):
+                    return
+                self._state = "rows"
+            elif self._state == "rows":
+                if not self._buffer:
+                    return
+                if self._buffer[0] == "]":
+                    self._buffer = self._buffer[1:]
+                    self._state = "suffix"
+                    continue
+                value = self._extract_value()
+                if value is None:
+                    return
+                yield self._as_dict(value, "row")
+                self._state = "rows_separator"
+            elif self._state == "rows_separator":
+                if not self._buffer:
+                    return
+                head = self._buffer[0]
+                self._buffer = self._buffer[1:]
+                if head == ",":
+                    self._state = "rows"
+                elif head == "]":
+                    self._state = "suffix"
+                else:
+                    raise LogFormatError(
+                        f"corrupt VMM-encoded log: expected ',' or ']', "
+                        f"found {head!r}")
+            elif self._state == "suffix":
+                if not self._buffer:
+                    return
+                if self._buffer[0] != "}":
+                    raise LogFormatError(
+                        "corrupt VMM-encoded log: trailing data after rows")
+                self._buffer = self._buffer[1:]
+                self._state = "done"
+            else:  # done
+                if self._buffer.strip():
+                    raise LogFormatError(
+                        "corrupt VMM-encoded log: data after the closing brace")
+                self._buffer = ""
+                return
+
+    def finish(self) -> None:
+        if self._state != "done" or self._buffer.strip():
+            raise LogFormatError(
+                "corrupt VMM-encoded log: stream ended mid-structure")
+
+    def _advance_literal(self, literal: str) -> bool:
+        if len(self._buffer) < len(literal):
+            if not literal.startswith(self._buffer):
+                raise LogFormatError(
+                    f"corrupt VMM-encoded log: expected {literal!r}")
+            return False
+        if not self._buffer.startswith(literal):
+            raise LogFormatError(
+                f"corrupt VMM-encoded log: expected {literal!r}")
+        self._buffer = self._buffer[len(literal):]
+        return True
+
+    def _extract_value(self):
+        """Pop one complete JSON value off the buffer, or ``None`` for more.
+
+        ``None`` also covers a malformed value — the distinction between
+        "split across fragments" and "corrupt" is only decidable at stream
+        end, where :meth:`finish` raises.
+        """
+        if not self._buffer:
+            return None
+        try:
+            value, end = self._decoder.raw_decode(self._buffer)
+        except json.JSONDecodeError:
+            return None
+        self._buffer = self._buffer[end:]
+        return value
+
+    @staticmethod
+    def _as_dict(value, what: str) -> Dict:
+        if not isinstance(value, dict):
+            raise LogFormatError(
+                f"corrupt VMM-encoded log: {what} is not an object")
+        return value
+
+
+# ---------------------------------------------------------------------------
+# format_version=2 — struct-packed binary, length-prefixed, zero-copy decode
+# ---------------------------------------------------------------------------
+#
+# Layout (all integers little-endian, documented field by field in
+# docs/log-format.md):
+#
+#   magic     8s   b"AVMLOGB2"
+#   header    <HH  format_version (=2), machine_len
+#             machine_len bytes of UTF-8 machine name
+#             32s  start_hash
+#             <I   entry_count
+#   frame*    <I   payload_len, then payload_len payload bytes
+#   payload   <QBd32s32sI  sequence, entry-type tag, timestamp, chain_hash,
+#                          previous_hash, content_len
+#             content_len bytes: the entry content's *canonical* encoding
+#             (repro.log.entries.encode_content), verbatim
+#
+# The content bytes are exactly what the hash chain covers (h_i commits to
+# H(content bytes)), so decode seeds the entry's encoded-content cache with
+# them and chain verification never re-canonicalises: a tampered or
+# non-canonical content serialisation hashes differently and fails the chain
+# check, which is the same tamper-evidence argument the JSON format relies
+# on.
+
+#: fixed entry-type tag table — wire-stable, append-only
+_TYPE_TAGS: Dict[EntryType, int] = {
+    EntryType.SEND: 1,
+    EntryType.RECV: 2,
+    EntryType.ACK: 3,
+    EntryType.NONDET: 4,
+    EntryType.SNAPSHOT: 5,
+    EntryType.TIMETRACKER: 6,
+    EntryType.MACLAYER: 7,
+    EntryType.CHALLENGE: 8,
+    EntryType.RESPONSE: 9,
+    EntryType.ANNOTATION: 10,
+}
+_TAG_TYPES: Dict[int, EntryType] = {tag: entry_type
+                                    for entry_type, tag in _TYPE_TAGS.items()}
+
+_V2_FIXED = struct.Struct("<QBd32s32sI")
+_V2_HEADER_PREFIX = struct.Struct("<HH")
+_V2_LENGTH = struct.Struct("<I")
+_HASH_LENGTH = 32
+
+
+@register_codec
+class BinaryCodec(LogCodec):
+    """``format_version=2``: packed binary frames, zero-copy decode."""
+
+    format_version = 2
+    MAGIC = b"AVMLOGB2"
+    SUFFIX = ".avmlogb"
+
+    # -- entry level ---------------------------------------------------------
+
+    def encode_entry(self, entry: LogEntry) -> bytes:
+        tag = _TYPE_TAGS.get(entry.entry_type)
+        if tag is None:  # pragma: no cover - the tag table covers the enum
+            raise LogFormatError(
+                f"no v2 wire tag for entry type {entry.entry_type!r}")
+        content = entry.encoded_content()
+        if len(entry.chain_hash) != _HASH_LENGTH \
+                or len(entry.previous_hash) != _HASH_LENGTH:
+            raise LogFormatError(
+                f"entry {entry.sequence} carries a non-{_HASH_LENGTH}-byte "
+                f"chain hash")
+        return _V2_FIXED.pack(entry.sequence, tag, entry.timestamp,
+                              entry.chain_hash, entry.previous_hash,
+                              len(content)) + content
+
+    def decode_entry(self, payload: Union[bytes, memoryview]) -> LogEntry:
+        size = len(payload)
+        if size < _V2_FIXED.size:
+            raise LogFormatError(
+                f"binary log frame too short ({size} bytes)")
+        try:
+            sequence, tag, timestamp, chain_hash, previous_hash, content_len \
+                = _V2_FIXED.unpack_from(payload, 0)
+        except struct.error as exc:  # pragma: no cover - length checked above
+            raise LogFormatError(f"corrupt binary log frame: {exc}") from exc
+        if _V2_FIXED.size + content_len != size:
+            raise LogFormatError(
+                f"binary log frame advertises {content_len} content bytes "
+                f"but carries {size - _V2_FIXED.size}")
+        entry_type = _TAG_TYPES.get(tag)
+        if entry_type is None:
+            raise LogFormatError(f"unknown binary entry-type tag {tag}")
+        content_bytes = bytes(payload[_V2_FIXED.size:])
+        try:
+            content = json.loads(content_bytes)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise LogFormatError(
+                f"binary log frame carries undecodable content: {exc}") from exc
+        if not isinstance(content, dict):
+            raise LogFormatError(
+                "binary log frame content is not an object")
+        entry = LogEntry(sequence=sequence, entry_type=entry_type,
+                         content=content, chain_hash=chain_hash,
+                         previous_hash=previous_hash, timestamp=timestamp)
+        # The chain hash commits to H(content bytes); seeding the cache with
+        # the wire bytes means verification hashes them directly — tampered
+        # or non-canonical bytes fail the chain check, never pass silently.
+        seed_encoded_content(entry, content_bytes)
+        return entry
+
+    # -- framing -------------------------------------------------------------
+
+    def frame(self, payload: bytes) -> bytes:
+        return _V2_LENGTH.pack(len(payload)) + payload
+
+    def iter_frames(self, body: Union[bytes, memoryview]
+                    ) -> Iterator[memoryview]:
+        view = memoryview(body)
+        position = 0
+        total = len(view)
+        while position < total:
+            if total - position < _V2_LENGTH.size:
+                raise LogFormatError(
+                    "truncated binary log (dangling frame length)")
+            (length,) = _V2_LENGTH.unpack_from(view, position)
+            position += _V2_LENGTH.size
+            if total - position < length:
+                raise LogFormatError(
+                    "truncated binary log (frame shorter than advertised)")
+            yield view[position:position + length]
+            position += length
+
+    # -- segment level -------------------------------------------------------
+
+    def encode_segment(self, segment: LogSegment) -> bytes:
+        parts = [self.MAGIC, self._pack_header(segment.machine,
+                                               segment.start_hash,
+                                               len(segment.entries))]
+        pack_length = _V2_LENGTH.pack
+        append = parts.append
+        for entry in segment.entries:
+            payload = self.encode_entry(entry)
+            append(pack_length(len(payload)))
+            append(payload)
+        return b"".join(parts)
+
+    def decode_segment(self, data: Union[bytes, memoryview]) -> LogSegment:
+        view = memoryview(data)
+        if bytes(view[:MAGIC_LENGTH]) != self.MAGIC:
+            raise LogFormatError("not a binary log segment (bad magic)")
+        machine, start_hash, entry_count, body_start = \
+            self._unpack_header(view)
+        entries: List[LogEntry] = []
+        for payload in self.iter_frames(view[body_start:]):
+            entries.append(self.decode_entry(payload))
+        if len(entries) != entry_count:
+            raise LogFormatError(
+                f"entry count mismatch: header says {entry_count}, "
+                f"found {len(entries)}")
+        return LogSegment(machine=machine, start_hash=start_hash,
+                          entries=entries)
+
+    def stream_decoder(self) -> "_BinaryStreamDecoder":
+        return _BinaryStreamDecoder()
+
+    # -- header helpers ------------------------------------------------------
+
+    @staticmethod
+    def _pack_header(machine: str, start_hash: bytes,
+                     entry_count: int) -> bytes:
+        machine_bytes = machine.encode("utf-8")
+        if len(machine_bytes) > 0xFFFF:
+            raise LogFormatError("machine name too long for the v2 header")
+        if len(start_hash) != _HASH_LENGTH:
+            raise LogFormatError(
+                f"start hash must be {_HASH_LENGTH} bytes")
+        return (_V2_HEADER_PREFIX.pack(BinaryCodec.format_version,
+                                       len(machine_bytes))
+                + machine_bytes + start_hash
+                + _V2_LENGTH.pack(entry_count))
+
+    @staticmethod
+    def _unpack_header(view: memoryview):
+        """Parse the post-magic header; returns machine, hash, count, offset.
+
+        Raises :class:`LogFormatError` when the buffer cannot possibly hold
+        the full header (callers with partial buffers check
+        :meth:`_header_size_hint` first).
+        """
+        offset = MAGIC_LENGTH
+        if len(view) < offset + _V2_HEADER_PREFIX.size:
+            raise LogFormatError("truncated binary log header")
+        version, machine_len = _V2_HEADER_PREFIX.unpack_from(view, offset)
+        require_format_version(version, what="binary log segment",
+                               supported=(BinaryCodec.format_version,))
+        offset += _V2_HEADER_PREFIX.size
+        end = offset + machine_len + _HASH_LENGTH + _V2_LENGTH.size
+        if len(view) < end:
+            raise LogFormatError("truncated binary log header")
+        try:
+            machine = bytes(view[offset:offset + machine_len]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LogFormatError(
+                f"binary log header machine name is not UTF-8: {exc}") from exc
+        offset += machine_len
+        start_hash = bytes(view[offset:offset + _HASH_LENGTH])
+        offset += _HASH_LENGTH
+        (entry_count,) = _V2_LENGTH.unpack_from(view, offset)
+        return machine, start_hash, entry_count, end
+
+    @staticmethod
+    def _header_size_hint(buffer: Union[bytes, bytearray]) -> Optional[int]:
+        """Total header size once enough bytes are buffered, else ``None``."""
+        need = MAGIC_LENGTH + _V2_HEADER_PREFIX.size
+        if len(buffer) < need:
+            return None
+        _, machine_len = _V2_HEADER_PREFIX.unpack_from(buffer, MAGIC_LENGTH)
+        return need + machine_len + _HASH_LENGTH + _V2_LENGTH.size
+
+
+class _BinaryStreamDecoder(_StreamDecoderBase):
+    """Incrementally decode a v2 segment from a byte stream, zero-copy.
+
+    Complete frames are unpacked with ``struct.unpack_from`` straight out of
+    the accumulation buffer through a :class:`memoryview` — no per-frame
+    slice copies; the only copy is the content bytes that outlive the buffer
+    (they seed the entry's encoded-content cache).  Consumed prefixes are
+    compacted away after every chunk, so peak memory is one chunk plus one
+    partial frame.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._declared_count: Optional[int] = None
+
+    def entries(self, chunks: Iterable[bytes]) -> Iterator[LogEntry]:
+        codec = BinaryCodec()
+        buffer = bytearray()
+        header_done = False
+        for piece in chunks:
+            buffer += piece
+            if not header_done:
+                if len(buffer) >= MAGIC_LENGTH \
+                        and not buffer.startswith(BinaryCodec.MAGIC):
+                    raise LogFormatError(
+                        "not a binary log segment (bad magic)")
+                header_size = BinaryCodec._header_size_hint(buffer)
+                if header_size is None or len(buffer) < header_size:
+                    continue
+                machine, start_hash, count, _ = \
+                    BinaryCodec._unpack_header(memoryview(buffer))
+                self.header = _encode_v1_header(machine, start_hash)
+                self._declared_count = count
+                del buffer[:header_size]
+                header_done = True
+            # Drain every complete frame currently buffered.  The views are
+            # created and dropped inside _drain_frames, so the compaction
+            # (and the next chunk append) never hits an exported buffer.
+            for entry in self._drain_frames(codec, buffer):
+                self.entry_count += 1
+                yield entry
+        if not header_done:
+            if len(buffer) >= MAGIC_LENGTH \
+                    and not buffer.startswith(BinaryCodec.MAGIC):
+                raise LogFormatError("not a binary log segment (bad magic)")
+            raise LogFormatError("truncated binary log header")
+        if buffer:
+            raise LogFormatError(
+                "truncated binary log (stream ended mid-frame)")
+        if self._declared_count is not None \
+                and self.entry_count != self._declared_count:
+            raise LogFormatError(
+                f"entry count mismatch: header says {self._declared_count}, "
+                f"found {self.entry_count}")
+
+    @staticmethod
+    def _drain_frames(codec: BinaryCodec,
+                      buffer: bytearray) -> List[LogEntry]:
+        drained: List[LogEntry] = []
+        position = 0
+        total = len(buffer)
+        view = memoryview(buffer)
+        try:
+            while total - position >= _V2_LENGTH.size:
+                (length,) = _V2_LENGTH.unpack_from(view, position)
+                if total - position - _V2_LENGTH.size < length:
+                    break
+                start = position + _V2_LENGTH.size
+                drained.append(codec.decode_entry(view[start:start + length]))
+                position = start + length
+        finally:
+            view.release()
+        if position:
+            del buffer[:position]
+        return drained
+
+
+# ---------------------------------------------------------------------------
+# Format-agnostic streaming decode (magic-sniffing dispatcher)
+# ---------------------------------------------------------------------------
+
+class SegmentStreamDecoder(_StreamDecoderBase):
+    """Incrementally decode a stored segment blob of *any* registered format.
+
+    Buffers the first :data:`MAGIC_LENGTH` bytes, selects the codec by
+    magic, and delegates to its incremental decoder — so the archive's
+    streaming reader and the ingest service never branch on format
+    versions.  ``header`` (machine + hex start hash) is populated before
+    the first entry is yielded, exactly like both per-format decoders
+    guarantee.
+    """
+
+    def entries(self, chunks: Iterable[bytes]) -> Iterator[LogEntry]:
+        chunk_iter = iter(chunks)
+        prefix = b""
+        while len(prefix) < MAGIC_LENGTH:
+            piece = next(chunk_iter, None)
+            if piece is None:
+                break
+            prefix += piece
+        if len(prefix) < MAGIC_LENGTH:
+            # Too short to carry any magic; report it the way the original
+            # (v1-only) decoder always has.
+            raise LogFormatError("not a VMM-compressed log (bad magic)")
+        inner = get_codec(sniff_format_version(prefix)).stream_decoder()
+
+        def replay() -> Iterator[bytes]:
+            yield prefix
+            yield from chunk_iter
+
+        for entry in inner.entries(replay()):
+            self.header = inner.header
+            self.entry_count = inner.entry_count
+            yield entry
+        self.header = inner.header
+        self.entry_count = inner.entry_count
+
+
+# ---------------------------------------------------------------------------
+# The canonical modelled compressed-log size (audit cost model)
+# ---------------------------------------------------------------------------
+
+def iter_snapshot_subsegments(segment: LogSegment) -> Iterator[LogSegment]:
+    """Split a segment at SNAPSHOT entries (each sub-segment ends at one).
+
+    This is the shipping granularity of Section 4.2 — a monitor seals and
+    ships the entries since the previous snapshot, ending with the SNAPSHOT
+    entry — re-derived from the entries alone, so it is independent of how
+    the log was actually chunked, shipped or re-shipped.  Entries after the
+    last snapshot form a final tail sub-segment.
+    """
+    entries = segment.entries
+    start = 0
+    start_hash = segment.start_hash
+    for index, entry in enumerate(entries):
+        if entry.entry_type is EntryType.SNAPSHOT:
+            yield LogSegment(machine=segment.machine,
+                             entries=entries[start:index + 1],
+                             start_hash=start_hash)
+            start = index + 1
+            start_hash = entry.chain_hash
+    if start < len(entries):
+        yield LogSegment(machine=segment.machine, entries=entries[start:],
+                         start_hash=start_hash)
+
+
+#: optional cache lookup: ``(first_sequence, last_sequence) -> bytes or None``
+SizeHint = Callable[[int, int], Optional[int]]
+
+
+def modelled_compressed_log_bytes(segment: LogSegment,
+                                  size_hint: Optional[SizeHint] = None) -> int:
+    """The audit cost model's compressed size of downloading ``segment``.
+
+    Defined as the sum over the snapshot-delimited sub-segments of the
+    v1-compressed size of each sub-segment — i.e. what a v1 archive stores
+    for a cleanly-shipped log.  A pure function of the entries: additive
+    across snapshot boundaries, identical whether the auditor materialized,
+    chunked or streamed the log, and identical for every wire format the
+    log happens to be stored in.
+
+    ``size_hint`` lets archives serve sub-segment sizes from their manifest
+    (:meth:`~repro.store.archive.LogArchive.cached_wire_bytes`) instead of
+    recompressing; a hint may return ``None`` for any range, in which case
+    the size is computed by compressing that sub-segment — so hints are an
+    optimisation, never a semantic change.
+    """
+    if not segment.entries:
+        return 0
+    total = 0
+    v1 = None
+    for sub in iter_snapshot_subsegments(segment):
+        cached = None
+        if size_hint is not None:
+            cached = size_hint(sub.first_sequence, sub.last_sequence)
+        if cached is None:
+            if v1 is None:
+                v1 = JsonBz2Codec()
+            cached = len(v1.encode_segment(sub))
+        total += cached
+    return total
+
+
+class ModelledCostAccumulator:
+    """:func:`modelled_compressed_log_bytes` over a *stream* of entries.
+
+    The streaming audit sees the log in chunks; because the modelled size is
+    additive across snapshot boundaries, this accumulator buffers only the
+    current snapshot-delimited sub-segment (closing it at every SNAPSHOT
+    entry) and produces exactly the number
+    :func:`modelled_compressed_log_bytes` returns for the concatenated log —
+    whatever the chunking was.  Interface-compatible with the historical
+    ``IncrementalCompressionMeter`` (``add_many`` / ``raw_bytes`` /
+    ``finish``); ``size_hint`` is the archive's manifest lookup, so a
+    cleanly-shipped log is costed without compressing anything.
+    """
+
+    def __init__(self, machine: str, start_hash: bytes,
+                 size_hint: Optional[SizeHint] = None) -> None:
+        self._machine = machine
+        self._start_hash = start_hash
+        self._size_hint = size_hint
+        self._pending: List[LogEntry] = []
+        self._compressed = 0
+        self.raw_bytes = 0
+
+    def add_many(self, entries: Iterable[LogEntry]) -> None:
+        """Account consecutive entries (log order across all calls)."""
+        for entry in entries:
+            self.raw_bytes += entry.size_bytes()
+            self._pending.append(entry)
+            if entry.entry_type is EntryType.SNAPSHOT:
+                self._close_subsegment()
+
+    def _close_subsegment(self) -> None:
+        sub = LogSegment(machine=self._machine, entries=self._pending,
+                         start_hash=self._start_hash)
+        self._compressed += modelled_compressed_log_bytes(sub,
+                                                          self._size_hint)
+        self._start_hash = sub.end_hash
+        self._pending = []
+
+    def finish(self) -> int:
+        """Close the final (tail) sub-segment; return the modelled size."""
+        if self._pending:
+            self._close_subsegment()
+        return self._compressed

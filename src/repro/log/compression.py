@@ -9,20 +9,41 @@ growth from ~8 MB/min down to ~2.47 MB/min.  We provide both stages:
   the structure of replay entries (monotone execution counters, near-constant
   clock deltas, repeated field names) by delta-encoding counters and
   dictionary-encoding entry payload keys before the generic compressor runs.
+
+The wire format itself now lives in :mod:`repro.log.codec` as
+``format_version=1`` (:class:`~repro.log.codec.JsonBz2Codec`), alongside the
+binary ``format_version=2`` codec; this module keeps the historical
+compression-centric API — :class:`VmmLogCompressor` delegates to the v1
+codec, and :class:`~repro.log.codec.SegmentStreamDecoder` (re-exported here)
+streams *any* registered format by sniffing the magic.
 """
 
 from __future__ import annotations
 
 import bz2
-import codecs
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Iterable
 
-from repro.errors import LogFormatError
-from repro.log.entries import EntryType, LogEntry
+from repro.log.codec import (
+    JsonBz2Codec,
+    SegmentStreamDecoder,
+    _encode_v1_header,
+    _RowCodec,
+)
+from repro.log.entries import LogEntry
 from repro.log.segments import LogSegment
-from repro.log.storage import segment_to_bytes
+
+__all__ = [
+    "bzip2_compress",
+    "bzip2_decompress",
+    "CompressionStats",
+    "VmmLogCompressor",
+    "SegmentStreamDecoder",
+    "IncrementalCompressionMeter",
+    "compress_segment",
+    "decompress_segment",
+]
 
 
 def bzip2_compress(data: bytes, level: int = 9) -> bytes:
@@ -55,310 +76,39 @@ class VmmLogCompressor:
     """Two-stage compressor: VMM-specific delta/dictionary pre-pass + bzip2.
 
     The pre-pass is lossless: :meth:`decompress` reproduces the exact segment
-    bytes produced by :func:`repro.log.storage.segment_to_bytes`.
+    bytes produced by :func:`repro.log.storage.segment_to_bytes`.  This class
+    is now a compression-flavoured veneer over the ``format_version=1`` codec
+    (:class:`repro.log.codec.JsonBz2Codec`).
     """
 
-    MAGIC = b"AVMLOGZ1"
+    MAGIC = JsonBz2Codec.MAGIC
 
     def compress(self, segment: LogSegment) -> bytes:
         """Compress a segment; returns the compressed byte string."""
-        encoded = self._vmm_encode(segment)
-        return self.MAGIC + bzip2_compress(encoded)
+        return JsonBz2Codec().encode_segment(segment)
 
     def decompress(self, data: bytes) -> LogSegment:
         """Reverse :meth:`compress`."""
-        if not data.startswith(self.MAGIC):
-            raise LogFormatError("not a VMM-compressed log (bad magic)")
-        encoded = bzip2_decompress(data[len(self.MAGIC):])
-        return self._vmm_decode(encoded)
+        return JsonBz2Codec().decode_segment(data)
 
     def stats(self, segment: LogSegment) -> CompressionStats:
         """Compute raw / pre-pass / compressed sizes for a segment."""
+        # Imported lazily: storage sits above the codec layer (it routes its
+        # format_version checks through the codec registry).
+        from repro.log.storage import segment_to_bytes
+
         raw = segment_to_bytes(segment)
-        encoded = self._vmm_encode(segment)
+        codec = _RowCodec()
+        rows = [codec.encode_row(entry) for entry in segment.entries]
+        blob = {"header": _encode_v1_header(segment.machine,
+                                            segment.start_hash),
+                "rows": rows}
+        encoded = json.dumps(blob, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
         compressed = self.MAGIC + bzip2_compress(encoded)
         return CompressionStats(raw_bytes=len(raw),
                                 vmm_encoded_bytes=len(encoded),
                                 compressed_bytes=len(compressed))
-
-    # -- VMM-specific pre-pass ----------------------------------------------
-
-    def _vmm_encode(self, segment: LogSegment) -> bytes:
-        """Delta-encode execution counters and strip per-entry redundancy."""
-        codec = _RowCodec()
-        rows: List[Dict] = [codec.encode_row(entry) for entry in segment.entries]
-        blob = {"header": _encode_header(segment.machine, segment.start_hash),
-                "rows": rows}
-        return json.dumps(blob, sort_keys=True, separators=(",", ":")).encode("utf-8")
-
-    def _vmm_decode(self, encoded: bytes) -> LogSegment:
-        try:
-            blob = json.loads(encoded.decode("utf-8"))
-        except json.JSONDecodeError as exc:
-            raise LogFormatError(f"corrupt VMM-encoded log: {exc}") from exc
-        header = blob["header"]
-        codec = _RowCodec()
-        entries: List[LogEntry] = [codec.decode_row(row) for row in blob["rows"]]
-        return LogSegment(machine=str(header["machine"]),
-                          start_hash=bytes.fromhex(header["start_hash"]),
-                          entries=entries)
-
-
-# -- the shared row codec ----------------------------------------------------
-#
-# One entry <-> one compact JSON row.  The codec carries the delta-encoding
-# state (previous execution counter, previous sequence number) across rows, so
-# the whole-segment encoder above and the streaming encoder/decoder below
-# produce and consume *identical* rows: the streaming paths are byte-exact
-# with the materializing ones by construction.
-
-def _encode_header(machine: str, start_hash: bytes) -> Dict:
-    return {"machine": machine, "start_hash": start_hash.hex()}
-
-
-class _RowCodec:
-    """Stateful per-entry row encoder/decoder (delta counters, dense seqs)."""
-
-    def __init__(self) -> None:
-        self._encode_counter = 0
-        self._encode_sequence: Optional[int] = None
-        self._decode_counter = 0
-        self._decode_sequence: Optional[int] = None
-
-    def encode_row(self, entry: LogEntry) -> Dict:
-        row: Dict = {"t": entry.entry_type.wire_name}
-        # Sequence numbers are dense; store only breaks in density.
-        if not (self._encode_sequence is not None
-                and entry.sequence == self._encode_sequence + 1):
-            row["s"] = entry.sequence
-        self._encode_sequence = entry.sequence
-        # Timestamps are bookkeeping only; store them verbatim so the
-        # round-trip is bit-exact (they still compress well under bzip2).
-        if entry.timestamp:
-            row["ts"] = entry.timestamp
-        content = dict(entry.content)
-        # Execution counters in replay entries are monotone; delta-encode.
-        counter = content.get("execution_counter")
-        if isinstance(counter, int):
-            row["dc"] = counter - self._encode_counter
-            self._encode_counter = counter
-            content.pop("execution_counter")
-        row["c"] = content
-        # Chain hashes are recomputable from content during decode *only*
-        # if we keep them; we keep them (lossless requirement) but they
-        # compress well under bzip2 because they are high-entropy anyway.
-        row["h"] = entry.chain_hash.hex()
-        row["p"] = entry.previous_hash.hex()
-        return row
-
-    def decode_row(self, row: Dict) -> LogEntry:
-        if "s" in row:
-            sequence = row["s"]
-        else:
-            sequence = (self._decode_sequence + 1
-                        if self._decode_sequence is not None else 1)
-        self._decode_sequence = sequence
-        content = dict(row["c"])
-        if "dc" in row:
-            self._decode_counter += row["dc"]
-            content["execution_counter"] = self._decode_counter
-        return LogEntry(
-            sequence=sequence,
-            entry_type=EntryType(row["t"]),
-            content=content,
-            chain_hash=bytes.fromhex(row["h"]),
-            previous_hash=bytes.fromhex(row["p"]),
-            timestamp=float(row.get("ts", 0.0)),
-        )
-
-
-# -- streaming decode --------------------------------------------------------
-
-class SegmentStreamDecoder:
-    """Incrementally decode a VMM-compressed segment from a byte stream.
-
-    The materializing path (:meth:`VmmLogCompressor.decompress`) inflates the
-    whole file and parses one JSON blob — peak memory proportional to the
-    segment.  This decoder feeds the bzip2 stream through
-    :class:`bz2.BZ2Decompressor` chunk by chunk and scans the decompressed
-    text with a small string-and-depth-aware state machine, yielding one
-    :class:`~repro.log.entries.LogEntry` at a time; at no point is more than
-    one compressed chunk plus one row held.  The strict layout produced by
-    the compact, key-sorted encoder (``{"header":{...},"rows":[...]}``) is
-    *required*; anything else raises :class:`LogFormatError`, exactly like
-    the materializing decoder would.
-
-    ``header`` (machine + start hash) is populated before the first entry is
-    yielded, so callers can validate segment metadata up front.
-    """
-
-    def __init__(self) -> None:
-        self.header: Optional[Dict] = None
-        self.entry_count = 0
-        self._codec = _RowCodec()
-
-    def entries(self, chunks: Iterable[bytes]) -> Iterator[LogEntry]:
-        """Yield entries as ``chunks`` (the raw file bytes) arrive."""
-        chunk_iter = iter(chunks)
-        magic_buffer = b""
-        magic = VmmLogCompressor.MAGIC
-        while len(magic_buffer) < len(magic):
-            piece = next(chunk_iter, None)
-            if piece is None:
-                break
-            magic_buffer += piece
-        if not magic_buffer.startswith(magic):
-            raise LogFormatError("not a VMM-compressed log (bad magic)")
-
-        decompressor = bz2.BZ2Decompressor()
-        utf8 = codecs.getincrementaldecoder("utf-8")()
-        scanner = _BlobScanner()
-
-        def feed(compressed: bytes) -> Iterator[LogEntry]:
-            if not compressed:
-                return
-            text = utf8.decode(decompressor.decompress(compressed))
-            for row in scanner.feed(text):
-                # The header precedes the first row in the encoded blob, so
-                # it is available before (not merely after) any entry is
-                # yielded — callers validate metadata up front.
-                if self.header is None:
-                    self.header = scanner.header
-                self.entry_count += 1
-                yield self._codec.decode_row(row)
-            if self.header is None and scanner.header is not None:
-                self.header = scanner.header
-
-        yield from feed(magic_buffer[len(magic):])
-        for piece in chunk_iter:
-            yield from feed(piece)
-        utf8.decode(b"", final=True)
-        if not decompressor.eof:
-            raise LogFormatError(
-                "truncated VMM-compressed log (bzip2 stream did not end)")
-        scanner.finish()
-        if self.header is None:
-            self.header = scanner.header
-
-
-class _BlobScanner:
-    """State machine over ``{"header":H,"rows":[R,R,...]}`` text.
-
-    Consumes arbitrarily split text fragments and emits each complete row as
-    a parsed dict.  Values are extracted with
-    :meth:`json.JSONDecoder.raw_decode` (a C-level scan, so streaming decode
-    keeps one-shot parsing speed); a decode error is indistinguishable from
-    a value split across fragments, so errors are held until the stream ends
-    — a malformed blob therefore raises :class:`LogFormatError` at
-    :meth:`finish`, like the one-shot decoder raises on its single parse.
-    """
-
-    _HEADER_PREFIX = '{"header":'
-    _ROWS_PREFIX = ',"rows":['
-
-    def __init__(self) -> None:
-        self.header: Optional[Dict] = None
-        self._decoder = json.JSONDecoder()
-        self._buffer = ""
-        self._state = "prefix"  # prefix -> header -> rows_prefix -> rows
-        #                          -> rows_separator -> suffix -> done
-
-    def feed(self, text: str) -> Iterator[Dict]:
-        self._buffer += text
-        while True:
-            if self._state == "prefix":
-                if not self._advance_literal(self._HEADER_PREFIX):
-                    return
-                self._state = "header"
-            elif self._state == "header":
-                value = self._extract_value()
-                if value is None:
-                    return
-                self.header = self._as_dict(value, "header")
-                self._state = "rows_prefix"
-            elif self._state == "rows_prefix":
-                if not self._advance_literal(self._ROWS_PREFIX):
-                    return
-                self._state = "rows"
-            elif self._state == "rows":
-                if not self._buffer:
-                    return
-                if self._buffer[0] == "]":
-                    self._buffer = self._buffer[1:]
-                    self._state = "suffix"
-                    continue
-                value = self._extract_value()
-                if value is None:
-                    return
-                yield self._as_dict(value, "row")
-                self._state = "rows_separator"
-            elif self._state == "rows_separator":
-                if not self._buffer:
-                    return
-                head = self._buffer[0]
-                self._buffer = self._buffer[1:]
-                if head == ",":
-                    self._state = "rows"
-                elif head == "]":
-                    self._state = "suffix"
-                else:
-                    raise LogFormatError(
-                        f"corrupt VMM-encoded log: expected ',' or ']', "
-                        f"found {head!r}")
-            elif self._state == "suffix":
-                if not self._buffer:
-                    return
-                if self._buffer[0] != "}":
-                    raise LogFormatError(
-                        "corrupt VMM-encoded log: trailing data after rows")
-                self._buffer = self._buffer[1:]
-                self._state = "done"
-            else:  # done
-                if self._buffer.strip():
-                    raise LogFormatError(
-                        "corrupt VMM-encoded log: data after the closing brace")
-                self._buffer = ""
-                return
-
-    def finish(self) -> None:
-        if self._state != "done" or self._buffer.strip():
-            raise LogFormatError(
-                "corrupt VMM-encoded log: stream ended mid-structure")
-
-    def _advance_literal(self, literal: str) -> bool:
-        if len(self._buffer) < len(literal):
-            if not literal.startswith(self._buffer):
-                raise LogFormatError(
-                    f"corrupt VMM-encoded log: expected {literal!r}")
-            return False
-        if not self._buffer.startswith(literal):
-            raise LogFormatError(
-                f"corrupt VMM-encoded log: expected {literal!r}")
-        self._buffer = self._buffer[len(literal):]
-        return True
-
-    def _extract_value(self):
-        """Pop one complete JSON value off the buffer, or ``None`` for more.
-
-        ``None`` also covers a malformed value — the distinction between
-        "split across fragments" and "corrupt" is only decidable at stream
-        end, where :meth:`finish` raises.
-        """
-        if not self._buffer:
-            return None
-        try:
-            value, end = self._decoder.raw_decode(self._buffer)
-        except json.JSONDecodeError:
-            return None
-        self._buffer = self._buffer[end:]
-        return value
-
-    @staticmethod
-    def _as_dict(value, what: str) -> Dict:
-        if not isinstance(value, dict):
-            raise LogFormatError(
-                f"corrupt VMM-encoded log: {what} is not an object")
-        return value
 
 
 # -- streaming compressed-size metering --------------------------------------
@@ -366,16 +116,20 @@ class _BlobScanner:
 class IncrementalCompressionMeter:
     """Byte-exact ``len(VmmLogCompressor().compress(segment))``, streamed.
 
-    The audit cost model charges the *compressed* size of the downloaded log
-    (:class:`~repro.audit.verdict.AuditCost.compressed_log_bytes`); the
-    serial auditor computes it by compressing the materialized segment in one
-    shot.  This meter reproduces the exact same byte count while seeing one
-    entry at a time: it re-emits the compact key-sorted JSON the whole-blob
-    encoder would produce (``json.dumps(..., sort_keys=True)`` serialises
-    nested dicts identically whether dumped together or row by row) and pipes
-    it through an incremental :class:`bz2.BZ2Compressor`, which by
-    construction yields the same stream as one-shot :func:`bz2.compress`.
-    Memory stays O(1): the bz2 state plus one encoded row.
+    Reproduces the exact byte count of the one-shot v1 compressor while
+    seeing one entry at a time: it re-emits the compact key-sorted JSON the
+    whole-blob encoder would produce (``json.dumps(..., sort_keys=True)``
+    serialises nested dicts identically whether dumped together or row by
+    row) and pipes it through an incremental :class:`bz2.BZ2Compressor`,
+    which by construction yields the same stream as one-shot
+    :func:`bz2.compress`.  Memory stays O(1): the bz2 state plus one encoded
+    row.
+
+    The audit cost model no longer runs one of these over the whole stream —
+    it models compressed download size per snapshot-delimited sub-segment
+    (:func:`repro.log.codec.modelled_compressed_log_bytes`), usually served
+    straight from the archive manifest — but the meter remains the reference
+    implementation that the equivalence tests check both against.
     """
 
     def __init__(self, machine: str, start_hash: bytes, level: int = 9) -> None:
@@ -384,7 +138,7 @@ class IncrementalCompressionMeter:
         self._codec = _RowCodec()
         self._first_row = True
         self.raw_bytes = 0
-        header = json.dumps(_encode_header(machine, start_hash),
+        header = json.dumps(_encode_v1_header(machine, start_hash),
                             sort_keys=True, separators=(",", ":"))
         self._feed(f'{{"header":{header},"rows":['.encode("utf-8"))
 

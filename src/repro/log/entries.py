@@ -66,14 +66,32 @@ class LogEntry:
     previous_hash: bytes
     timestamp: float = 0.0
 
+    def encoded_content(self) -> bytes:
+        """The canonical encoding of the entry content, memoised.
+
+        Canonicalisation (:func:`encode_content`) sits on the hot path of
+        chain hashing, cost accounting and the binary wire format, so the
+        result is cached on first use.  The cache deliberately lives in the
+        instance ``__dict__`` rather than as a dataclass field:
+        ``dataclasses.replace`` (used e.g. by the tampering adversaries to
+        forge variants of an entry) copies fields, and a copied stale cache
+        would make a tampered entry hash like the original — the non-field
+        cache is simply absent on the new instance and gets recomputed.
+        """
+        cached = self.__dict__.get("_encoded_content")
+        if cached is None:
+            cached = encode_content(self.content)
+            object.__setattr__(self, "_encoded_content", cached)
+        return cached
+
     def content_hash(self) -> bytes:
         """Hash of the canonical encoding of the entry content."""
-        return hashing.hash_bytes(encode_content(self.content))
+        return hashing.hash_bytes(self.encoded_content())
 
     def size_bytes(self) -> int:
         """Approximate on-disk size of the entry (content + fixed overhead)."""
         # sequence (8) + type tag (up to 12) + chain hash (32) + timestamp (8)
-        return len(encode_content(self.content)) + 8 + 12 + 32 + 8
+        return len(self.encoded_content()) + 8 + 12 + 32 + 8
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialise to a plain dictionary (used by :mod:`repro.log.storage`)."""
@@ -100,6 +118,18 @@ class LogEntry:
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise LogFormatError(f"malformed log entry: {exc}") from exc
+
+
+def seed_encoded_content(entry: LogEntry, data: bytes) -> None:
+    """Pre-populate ``entry``'s encoded-content cache with known-good bytes.
+
+    Used by writers that just produced the canonical encoding (the recorder
+    hashes it into the chain as the entry is appended) and by the binary
+    codec, whose wire frames carry the canonical bytes verbatim — chain
+    verification then hashes exactly the bytes that came off the wire, so a
+    non-canonical or tampered serialisation can never verify.
+    """
+    object.__setattr__(entry, "_encoded_content", bytes(data))
 
 
 def encode_content(content: Dict[str, Any]) -> bytes:

@@ -15,9 +15,12 @@ from typing import IO, Iterable, Iterator, List, Union
 
 from repro.errors import LogFormatError
 from repro.log.authenticator import Authenticator
+from repro.log.codec import require_format_version
 from repro.log.entries import LogEntry
 from repro.log.segments import LogSegment
 
+#: version of the JSON-lines debug format (not a wire codec version; the
+#: binary/compressed wire formats live in :mod:`repro.log.codec`)
 _FORMAT_VERSION = 1
 
 
@@ -82,9 +85,8 @@ def parse_segment_header(line: str) -> dict:
     if not isinstance(header, dict) or header.get("kind") != "log_segment":
         kind = header.get("kind") if isinstance(header, dict) else None
         raise LogFormatError(f"not a log segment: kind={kind!r}")
-    if header.get("format_version") != _FORMAT_VERSION:
-        raise LogFormatError(
-            f"unsupported format version {header.get('format_version')!r}")
+    require_format_version(header.get("format_version"),
+                           what="log segment", supported=(_FORMAT_VERSION,))
     return header
 
 
@@ -149,9 +151,9 @@ def authenticators_from_bytes(data: bytes) -> List[Authenticator]:
         raise LogFormatError(f"bad authenticator header: {exc}") from exc
     if header.get("kind") != "authenticators":
         raise LogFormatError(f"not an authenticator file: kind={header.get('kind')!r}")
-    if header.get("format_version") != _FORMAT_VERSION:
-        raise LogFormatError(
-            f"unsupported format version {header.get('format_version')!r}")
+    require_format_version(header.get("format_version"),
+                           what="authenticator file",
+                           supported=(_FORMAT_VERSION,))
     result = []
     for line in lines[1:]:
         if not line.strip():

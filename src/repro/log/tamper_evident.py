@@ -14,7 +14,12 @@ from repro.crypto import hashing
 from repro.crypto.keys import KeyPair
 from repro.errors import SegmentError
 from repro.log.authenticator import Authenticator, make_authenticator
-from repro.log.entries import EntryType, LogEntry, encode_content
+from repro.log.entries import (
+    EntryType,
+    LogEntry,
+    encode_content,
+    seed_encoded_content,
+)
 from repro.log.hashchain import chain_hash
 from repro.log.segments import LogSegment
 
@@ -62,15 +67,25 @@ class TamperEvidentLog:
         """Append an entry and return it (with its chain hash filled in)."""
         sequence = self._next_sequence
         previous = self._current_hash
-        new_hash = chain_hash(previous, sequence, entry_type, content)
+        stored_content = dict(content)
+        encoded = encode_content(stored_content)
+        new_hash = hashing.hash_concat(
+            previous,
+            hashing.encode_int(sequence),
+            entry_type.wire_name.encode("utf-8"),
+            hashing.hash_bytes(encoded),
+        )
         entry = LogEntry(
             sequence=sequence,
             entry_type=entry_type,
-            content=dict(content),
+            content=stored_content,
             chain_hash=new_hash,
             previous_hash=previous,
             timestamp=self._clock(),
         )
+        # The chain hash above committed to exactly these bytes; cache them
+        # so verification and shipping never re-canonicalise the content.
+        seed_encoded_content(entry, encoded)
         self._entries.append(entry)
         self._current_hash = new_hash
         self._next_sequence += 1

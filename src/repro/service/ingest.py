@@ -27,6 +27,7 @@ check uses for a mid-log chunk.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -35,7 +36,7 @@ from repro.audit.auditor import Auditor
 from repro.audit.engine import AuditAssignment, AuditScheduler
 from repro.audit.verdict import AuditResult
 from repro.errors import HashChainError, LogFormatError, SnapshotError, StoreError
-from repro.log.compression import VmmLogCompressor
+from repro.log.codec import decode_segment
 from repro.log.segments import LogSegment
 from repro.log.storage import authenticators_from_bytes
 from repro.network.message import MessageKind, NetworkMessage
@@ -100,7 +101,6 @@ class AuditIngestService:
         self.stats = IngestStats()
         self._quarantine_path = Path(archive.root) / "quarantine.jsonl"
         self.quarantine: List[QuarantinedShipment] = self._load_quarantine()
-        self._compressor = VmmLogCompressor()
         #: machines with archived-but-unaudited segments, with segment counts
         self._pending: Dict[str, int] = {}
         if network is not None:
@@ -121,12 +121,15 @@ class AuditIngestService:
 
     def _on_segment(self, message: NetworkMessage) -> None:
         try:
-            segment = self._compressor.decompress(message.payload)
+            # Sniffs the codec magic, so shipments in any registered wire
+            # format (mixed-format fleets included) land in one archive.
+            segment = decode_segment(message.payload)
         except (LogFormatError, OSError, EOFError, ValueError, KeyError,
-                TypeError) as exc:
-            # bz2 raises OSError/EOFError on garbage, the decoder KeyError/
-            # ValueError on structurally wrong JSON — all quarantine, never
-            # crash the delivery callback.
+                TypeError, struct.error) as exc:
+            # bz2 raises OSError/EOFError on garbage, the JSON decoder
+            # KeyError/ValueError on structurally wrong JSON, struct on a
+            # torn binary frame — all quarantine, never crash the delivery
+            # callback.
             self.stats.segments_rejected += 1
             self._record_quarantine(QuarantinedShipment(
                 machine=message.source, reason=f"undecodable segment: {exc}"))

@@ -5,10 +5,11 @@ that produced them: machines keep tamper-evident logs, truncate them at
 mutually-agreed checkpoints, and hand segments to auditors on demand.
 :class:`LogArchive` is that durable home.  It persists each machine's log as
 append-only *segment files* rolled at snapshot boundaries (the same
-boundaries Section 6.12 uses for spot-check chunks), compressed with the
-VMM-specific compressor, and indexed by a manifest
-(:mod:`repro.store.manifest`) that records every segment's sequence range and
-the chain hashes at both ends.
+boundaries Section 6.12 uses for spot-check chunks), serialised by a
+versioned wire codec (:mod:`repro.log.codec` — JSON+bzip2 ``v1`` by default,
+the packed binary ``v2`` opt-in per archive), and indexed by a manifest
+(:mod:`repro.store.manifest`) that records every segment's sequence range,
+wire format and the chain hashes at both ends.
 
 Properties the archive guarantees:
 
@@ -37,7 +38,6 @@ from __future__ import annotations
 import bz2
 import json
 import re
-import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,7 +52,12 @@ from repro.errors import (
     StoreError,
 )
 from repro.log.authenticator import Authenticator
-from repro.log.compression import SegmentStreamDecoder, VmmLogCompressor
+from repro.log.codec import (
+    SegmentStreamDecoder,
+    get_codec,
+    require_format_version,
+    segment_suffix,
+)
 from repro.log.entries import LogEntry
 from repro.log.hashchain import ChainCheckpoint, verify_chain_incremental
 from repro.log.segments import LogSegment, concatenate_segments
@@ -75,17 +80,16 @@ from repro.vm.snapshot import (
     serialize_state,
 )
 
-_SEGMENT_SUFFIX = ".avmlogz"
 _AUTH_SUFFIX = ".jsonl.bz2"
 _SNAPSHOT_SUFFIX = ".json"
 _AUTH_NAME_RE = re.compile(r"^auths-(\d+)\.jsonl\.bz2$")
 #: file names the archive itself writes — the orphan sweep only ever touches
 #: these, so opening an archive in the wrong directory cannot destroy
-#: unrelated data
+#: unrelated data.  Covers every codec's segment suffix (.avmlogz = v1
+#: JSON+bz2, .avmlogb = v2 binary).
 _OWNED_NAME_RE = re.compile(
-    r"^(segment-\d+-\d+\.avmlogz|auths-\d+\.jsonl\.bz2|snapshot-\d+(-kf)?\.json)$")
-#: one-time :meth:`LogArchive.full_segment` deprecation warning latch
-_FULL_SEGMENT_WARNED = False
+    r"^(segment-\d+-\d+\.(avmlogz|avmlogb)|auths-\d+\.jsonl\.bz2"
+    r"|snapshot-\d+(-kf)?\.json)$")
 
 
 @dataclass
@@ -129,17 +133,24 @@ class ArchiveStats:
 class LogArchive:
     """A durable archive of tamper-evident logs for a fleet of machines."""
 
-    def __init__(self, root: Union[str, Path], deep_verify: bool = False) -> None:
+    def __init__(self, root: Union[str, Path], deep_verify: bool = False,
+                 format_version: int = 1) -> None:
         """Open (or create) the archive rooted at ``root``.
 
         Opening replays the manifest: per machine, the segment records must
         tile into one unbroken chain starting at the retention checkpoint
-        (or genesis).  ``deep_verify`` additionally decompresses every
-        segment file and re-verifies its hash chain entry by entry.
+        (or genesis).  ``deep_verify`` additionally decodes every segment
+        file and re-verifies its hash chain entry by entry.
+
+        ``format_version`` selects the wire codec *new* segments are written
+        with (see :mod:`repro.log.codec`); reading always follows each
+        record's own ``format_version``, so one archive can hold a mix and
+        old archives open regardless of the write-side setting.
         """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self._compressor = VmmLogCompressor()
+        self.format_version = require_format_version(format_version,
+                                                     what="log codec")
         self._manifest = Manifest.load(self.root)
         self._index: Dict[str, List[SegmentRecord]] = {}
         self._auth_index: Dict[str, List[AuthBatchRecord]] = {}
@@ -297,10 +308,18 @@ class LogArchive:
         end = verify_chain_incremental(segment.entries, head)
 
         raw = segment.size_bytes()
-        data = self._compressor.compress(segment)
+        data = get_codec(self.format_version).encode_segment(segment)
+        if self.format_version == 1:
+            wire_v1 = len(data)
+        else:
+            # The cost model charges the v1-compressed size whatever format
+            # the file is stored in; computing it here (once, at ingest —
+            # exactly what a v1 archive pays anyway) lets every later audit
+            # serve it from the manifest instead of recompressing.
+            wire_v1 = len(get_codec(1).encode_segment(segment))
         file_name = (f"{self._machine_dir(machine)}/segment-"
                      f"{segment.first_sequence:08d}-{segment.last_sequence:08d}"
-                     f"{_SEGMENT_SUFFIX}")
+                     f"{segment_suffix(self.format_version)}")
         atomic_write(self.root / file_name, data)
         record = SegmentRecord(
             machine=machine,
@@ -313,6 +332,8 @@ class LogArchive:
             raw_bytes=raw,
             stored_bytes=len(data),
             sealed_by_snapshot=sealed_by_snapshot,
+            format_version=self.format_version,
+            wire_v1_bytes=wire_v1,
         )
         self._manifest.segments.append(record)
         self._index.setdefault(machine, []).append(record)
@@ -445,7 +466,8 @@ class LogArchive:
         """Load one archived segment and check it against its index record."""
         path = self.root / record.file_name
         try:
-            segment = self._compressor.decompress(path.read_bytes())
+            codec = get_codec(record.format_version)
+            segment = codec.decode_segment(path.read_bytes())
         except (OSError, EOFError, ValueError, LogFormatError) as exc:
             raise ArchiveIntegrityError(
                 f"cannot read archived segment {record.file_name}: {exc}") from exc
@@ -464,10 +486,10 @@ class LogArchive:
                        chunk_bytes: int = 1 << 16) -> Iterator[LogEntry]:
         """Stream one archived segment's entries without materializing it.
 
-        Decompresses the segment file incrementally
-        (:class:`~repro.log.compression.SegmentStreamDecoder`) and yields one
-        entry at a time — peak memory is one compressed chunk plus one entry,
-        not the segment.  The same metadata checks :meth:`read_segment`
+        Decodes the segment file incrementally
+        (:class:`~repro.log.codec.SegmentStreamDecoder`, which sniffs the
+        wire format by magic) and yields one entry at a time — peak memory
+        is one stored chunk plus one entry, not the segment.  The same metadata checks :meth:`read_segment`
         performs run incrementally: header fields before the first entry,
         first/last sequence and end hash as they stream past, entry count at
         exhaustion.  Any decode failure or metadata mismatch raises
@@ -533,25 +555,86 @@ class LogArchive:
             raise StoreError(f"no archived segments for {machine!r}")
         return concatenate_segments(segments)
 
-    def full_segment(self, machine: str) -> LogSegment:
-        """The machine's whole retained log as one contiguous segment.
+    def cached_wire_bytes(self, machine: str, first_sequence: int,
+                          last_sequence: int) -> Optional[int]:
+        """The v1-compressed size of ``[first, last]``, served from the index.
 
-        .. deprecated::
-            This materializes every archived entry into one in-memory
-            :class:`~repro.log.segments.LogSegment`, so peak auditor memory
-            grows with log length.  The audit hot path streams instead
-            (:mod:`repro.audit.stream`); use :meth:`segments_for` /
-            :meth:`stream_segment` when whole-log materialization is really
-            wanted.  Kept as a compatibility shim; warns once per process.
+        Returns a size only when some segment record covers *exactly* this
+        sequence range: an exact span match means the record's file was
+        encoded from the same entries, the same start hash and the same
+        machine name as any sub-segment an audit rebuilds for that range
+        (the archive verified the chain at ingest), so the deterministic v1
+        encoding — and hence its length — is identical.  Ranges that do not
+        line up with a stored segment (merged re-shipments, split tails)
+        return ``None`` and the caller computes the size itself; the cache
+        is a pure optimisation, never a semantic change.
         """
-        global _FULL_SEGMENT_WARNED
-        if not _FULL_SEGMENT_WARNED:
-            _FULL_SEGMENT_WARNED = True
-            warnings.warn(
-                "LogArchive.full_segment materializes the whole archived log; "
-                "the audit pipeline streams segments instead "
-                "(repro.audit.stream)", DeprecationWarning, stacklevel=2)
-        return self.materialized_log(machine)
+        records = self._index.get(machine, [])
+        starts = [record.first_sequence for record in records]
+        position = bisect_right(starts, first_sequence) - 1
+        if position < 0:
+            return None
+        record = records[position]
+        if record.first_sequence != first_sequence \
+                or record.last_sequence != last_sequence:
+            return None
+        if record.format_version == 1:
+            return record.stored_bytes
+        return record.wire_v1_bytes or None
+
+    def reencode_segments(self, destination_root: Union[str, Path],
+                          format_version: int) -> "LogArchive":
+        """Copy this archive to ``destination_root`` in another wire format.
+
+        Segments are decoded, re-verified (by the destination's ingest
+        path) and re-encoded with ``format_version``'s codec, preserving
+        sealing metadata; authenticator batches and snapshots are copied
+        content-identically.  Returns the new archive.  Used by the
+        cross-format differential suite and as the migration path between
+        codec generations.
+        """
+        destination = LogArchive(destination_root,
+                                 format_version=format_version)
+        for machine in self.machines():
+            # Install the retention anchor first: a truncated source's
+            # earliest segment extends the checkpoint, not genesis.
+            retained = self.retained_checkpoint(machine)
+            if retained is not None:
+                destination._manifest.retained[machine] = retained
+            for record in self._index.get(machine, []):
+                destination.append_segment(
+                    self.read_segment(record),
+                    sealed_by_snapshot=record.sealed_by_snapshot)
+            for batch in self._auth_index.get(machine, []):
+                try:
+                    data = (self.root / batch.file_name).read_bytes()
+                    auths = authenticators_from_bytes(bz2.decompress(data))
+                except (OSError, EOFError, ValueError, LogFormatError) as exc:
+                    raise ArchiveIntegrityError(
+                        f"corrupt authenticator batch {batch.file_name}: "
+                        f"{exc}") from exc
+                destination.store_authenticators(machine, auths)
+            snaps = self._snapshot_index.get(machine, {})
+            for snapshot_id in sorted(snaps):
+                snap = snaps[snapshot_id]
+                if snap.kind == "keyframe":
+                    snapshot = self.load_snapshot(machine, snapshot_id)
+                    destination.store_snapshot(
+                        machine, snapshot_id, snapshot.state,
+                        snap.state_root, snap.transfer_bytes,
+                        execution=dict(snap.execution),
+                        page_size=snap.page_size or PAGE_SIZE,
+                        page_count=snap.page_count or None)
+                else:
+                    delta = self._read_delta(snap)
+                    destination.store_snapshot_delta(
+                        machine, snapshot_id, delta.base_snapshot_id,
+                        delta.changed_pages, delta.page_count,
+                        snap.state_root, snap.transfer_bytes,
+                        execution=dict(snap.execution),
+                        page_size=snap.page_size or PAGE_SIZE)
+        destination._manifest.write(destination.root)
+        return destination
 
     def record_covering(self, machine: str, sequence: int) -> SegmentRecord:
         """Index lookup: the segment record containing ``sequence``.

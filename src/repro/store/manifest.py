@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import ArchiveIntegrityError
+from repro.log.codec import require_format_version
 from repro.log.hashchain import ChainCheckpoint
 
 MANIFEST_FORMAT_VERSION = 1
@@ -46,6 +47,12 @@ class SegmentRecord:
     #: id of the snapshot whose SNAPSHOT entry seals this segment, or None
     #: for the tail segment shipped after the last snapshot
     sealed_by_snapshot: Optional[int] = None
+    #: wire format the segment file is stored in (a codec registry version)
+    format_version: int = 1
+    #: the segment's v1-compressed size — the audit cost model's canonical
+    #: compressed download size.  Equals ``stored_bytes`` for v1 files;
+    #: computed at append time for other formats (0 = unknown, legacy record)
+    wire_v1_bytes: int = 0
 
     def covers(self, sequence: int) -> bool:
         return self.first_sequence <= sequence <= self.last_sequence
@@ -65,10 +72,17 @@ class SegmentRecord:
             "raw_bytes": self.raw_bytes,
             "stored_bytes": self.stored_bytes,
             "sealed_by_snapshot": self.sealed_by_snapshot,
+            "format_version": self.format_version,
+            "wire_v1_bytes": self.wire_v1_bytes,
         }
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "SegmentRecord":
+        # Routed through the codec registry (outside the try: an unknown
+        # wire format is a LogFormatError, not a malformed record).
+        format_version = require_format_version(
+            data.get("format_version", 1) if isinstance(data, dict) else 1,
+            what="archived segment")
         try:
             sealed = data.get("sealed_by_snapshot")
             return SegmentRecord(
@@ -82,6 +96,8 @@ class SegmentRecord:
                 raw_bytes=int(data["raw_bytes"]),
                 stored_bytes=int(data["stored_bytes"]),
                 sealed_by_snapshot=int(sealed) if sealed is not None else None,
+                format_version=format_version,
+                wire_v1_bytes=int(data.get("wire_v1_bytes", 0)),
             )
         except (KeyError, ValueError, TypeError) as exc:
             raise ArchiveIntegrityError(f"malformed segment record: {exc}") from exc
@@ -217,10 +233,12 @@ class Manifest:
         if not isinstance(data, dict) or data.get("kind") != "avm_log_archive":
             kind = data.get("kind") if isinstance(data, dict) else None
             raise ArchiveIntegrityError(f"not an archive manifest: kind={kind!r}")
-        if data.get("format_version") != MANIFEST_FORMAT_VERSION:
-            raise ArchiveIntegrityError(
-                f"unsupported manifest format version "
-                f"{data.get('format_version')!r}")
+        # The manifest has its own version space (it indexes archives, it is
+        # not a wire codec), but the check routes through the codec layer's
+        # single helper so every unsupported-version failure in the repo is
+        # one well-typed LogFormatError.
+        require_format_version(data.get("format_version"), what="manifest",
+                               supported=(MANIFEST_FORMAT_VERSION,))
         try:
             retained = {
                 str(machine): ChainCheckpoint(

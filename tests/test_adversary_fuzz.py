@@ -18,6 +18,7 @@ No new dependencies: plain ``random.Random`` with fixed seeds.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
@@ -29,6 +30,7 @@ from repro.errors import (
     LogFormatError,
 )
 from repro.log.authenticator import Authenticator, batch_verify_authenticators
+from repro.log.codec import get_codec
 from repro.log.entries import EntryType
 from repro.log.storage import (
     authenticators_from_bytes,
@@ -138,10 +140,105 @@ class TestSegmentBitFlips:
         for sequence in range(1, len(log) + 1):
             segment = log.full_segment()
             entry = segment.entries[sequence - 1]
-            entry.content["index"] = -1  # in-memory tamper, hashes untouched
+            # Forge a replacement entry the way a real adversary must: a new
+            # entry object with tampered content but the recorded hashes.
+            # (In-place dict mutation would bypass the entry's cached
+            # canonical encoding — no wire adversary can do that.)
+            segment.entries[sequence - 1] = replace(
+                entry, content={**entry.content, "index": -1})
             with pytest.raises((HashChainError, AuthenticatorMismatchError)):
                 segment.verify_against_authenticators(authenticators,
                                                       fuzz_keystore)
+
+
+@pytest.mark.parametrize("format_version", [1, 2])
+class TestWireCodecBitFlips:
+    """The same single-bit-flip sweep over both *wire* codecs.
+
+    The JSON-lines sweep above covers the debug serialisation; this class
+    flips bits in the actual shipped/stored bytes — bz2-compressed v1 blobs
+    and packed binary v2 blobs — and demands the same trichotomy: reject at
+    parse, reject at verification, or provably outside the envelope.  For
+    v2 this also pins the cache-seeding contract: a tampered content byte
+    that still parses as JSON must fail the chain check, because
+    verification hashes the *wire* bytes, never a stale re-encoding.
+    """
+
+    def test_any_single_bit_flip_is_detected_or_outside_the_envelope(
+            self, recorded, fuzz_keystore, format_version):
+        log, authenticators, _ = recorded
+        segment = log.full_segment()
+        data = get_codec(format_version).encode_segment(segment)
+        rng = random.Random(0xD0 + format_version)
+        parse_rejected = verify_rejected = bookkeeping_only = 0
+
+        for _ in range(TRIALS):
+            mutated_bytes = _flip_bit(data, rng)
+            try:
+                mutated = get_codec(format_version).decode_segment(
+                    mutated_bytes)
+            except LogFormatError:
+                parse_rejected += 1
+                continue
+
+            if mutated.machine != segment.machine:
+                verify_rejected += 1
+                continue
+            try:
+                mutated.verify_against_authenticators(authenticators,
+                                                      fuzz_keystore)
+            except (HashChainError, AuthenticatorMismatchError):
+                verify_rejected += 1
+                continue
+
+            assert _entries_equal_modulo_timestamp(segment, mutated), \
+                "a bit flip survived verification but changed covered fields"
+            bookkeeping_only += 1
+
+        assert parse_rejected > 0
+        assert parse_rejected + verify_rejected + bookkeeping_only == TRIALS
+        # bz2 swallows nearly every flip at decompression; the binary format
+        # has no compression stage, so flips must instead be caught by the
+        # chain/authenticator checks (or hit the uncovered timestamp field).
+        if format_version == 2:
+            assert verify_rejected > 0
+
+    def test_tampered_content_byte_fails_the_chain_check(
+            self, recorded, fuzz_keystore, format_version):
+        """Surgical tamper: change one content digit without breaking JSON."""
+        log, authenticators, _ = recorded
+        codec = get_codec(format_version)
+        data = codec.encode_segment(log.full_segment())
+        if format_version == 1:
+            # Tamper inside the compressed body, then re-decode: either the
+            # bz2 stream dies (parse reject) or the chain check fires.
+            rng = random.Random(0xD16)
+            original = log.full_segment()
+            for _ in range(50):
+                mutated_bytes = _flip_bit(data, rng)
+                try:
+                    mutated = codec.decode_segment(mutated_bytes)
+                except LogFormatError:
+                    continue
+                if _entries_equal_modulo_timestamp(original, mutated):
+                    continue  # flip landed outside the envelope; try again
+                break
+            else:
+                pytest.skip("every flip died in bz2 — covered by the sweep")
+        else:
+            # v2 stores content verbatim: flip a digit inside the first
+            # entry's JSON content so the frame still parses.
+            raw = bytearray(data)
+            marker = raw.find(b'"index":')
+            assert marker != -1
+            digit_at = marker + len(b'"index":')
+            while chr(raw[digit_at]) not in "0123456789":
+                digit_at += 1
+            raw[digit_at] = ord("7") if raw[digit_at] != ord("7") else ord("8")
+            mutated = codec.decode_segment(bytes(raw))
+        with pytest.raises((HashChainError, AuthenticatorMismatchError)):
+            mutated.verify_against_authenticators(authenticators,
+                                                  fuzz_keystore)
 
 
 class TestAuthenticatorBitFlips:
@@ -220,7 +317,10 @@ class TestHashChainRoundTripFuzz:
             entry = segment.entries[victim]
             mutation = rng.choice(["content", "sequence", "previous", "chain"])
             if mutation == "content":
-                entry.content["r"] = -1
+                # Forged entry object, not in-place mutation — see
+                # test_every_entry_position_is_covered.
+                segment.entries[victim] = replace(
+                    entry, content={**entry.content, "r": -1})
             elif mutation == "sequence":
                 object.__setattr__(entry, "sequence", entry.sequence + 1)
             elif mutation == "previous":

@@ -1,0 +1,72 @@
+"""Backwards-compatibility pin: the checked-in v1 seed archive stays readable.
+
+``tests/data/seed_v1_archive`` was produced by the v1 (JSON+bz2) pipeline
+before the versioned codec API existed and is checked in verbatim.  Every
+future codec change must keep decoding it byte-for-byte: this is the repo's
+guarantee that ``format_version=1`` means *that* wire format, forever.
+The test also pins that merely opening an intact archive mutates nothing
+on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.log.codec import sniff_format_version
+from repro.log.storage import segment_to_bytes
+from repro.store.archive import LogArchive
+
+SEED_ROOT = Path(__file__).parent / "data" / "seed_v1_archive"
+MACHINE = "seed-machine"
+
+
+def _tree_digests(root: Path) -> dict:
+    return {path.relative_to(root).as_posix():
+            hashlib.sha256(path.read_bytes()).hexdigest()
+            for path in sorted(root.rglob("*")) if path.is_file()}
+
+
+@pytest.fixture()
+def seed_archive():
+    before = _tree_digests(SEED_ROOT)
+    archive = LogArchive(SEED_ROOT)
+    yield archive
+    assert _tree_digests(SEED_ROOT) == before, \
+        "opening/reading the seed archive modified it on disk"
+
+
+def test_seed_archive_decodes_byte_identically(seed_archive):
+    expected = (SEED_ROOT / "expected_segment.jsonl").read_bytes()
+    assert segment_to_bytes(seed_archive.materialized_log(MACHINE)) == expected
+
+
+def test_seed_archive_serves_all_read_paths(seed_archive):
+    records = seed_archive.segment_records(MACHINE)
+    assert [r.file_name.endswith(".avmlogz") for r in records] == \
+        [True] * len(records)
+    total = 0
+    for record in records:
+        assert record.format_version == 1
+        data = (seed_archive.root / record.file_name).read_bytes()
+        assert sniff_format_version(data) == 1
+        # One-shot and streaming decode agree entry for entry.
+        segment = seed_archive.read_segment(record)
+        streamed = list(seed_archive.stream_segment(record))
+        assert streamed == segment.entries
+        total += len(segment.entries)
+    assert total == seed_archive.entry_count(MACHINE)
+    seed_archive.materialized_log(MACHINE).verify_hash_chain()
+    auths = seed_archive.authenticators_for(MACHINE)
+    assert auths and all(auth.machine == MACHINE for auth in auths)
+
+
+def test_seed_archive_reencodes_to_v2(seed_archive, tmp_path):
+    v2 = seed_archive.reencode_segments(tmp_path / "v2", format_version=2)
+    expected = (SEED_ROOT / "expected_segment.jsonl").read_bytes()
+    assert segment_to_bytes(v2.materialized_log(MACHINE)) == expected
+    for record in v2.segment_records(MACHINE):
+        assert record.format_version == 2
+        assert record.wire_v1_bytes > 0

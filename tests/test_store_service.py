@@ -75,7 +75,7 @@ class TestArchiveRoundTrip:
         log = build_sealed_log()
         archive = LogArchive(tmp_path / "a")
         archive_sealed_log(archive, log)
-        assert archive.full_segment("machine").entries == log.entries
+        assert archive.materialized_log("machine").entries == log.entries
         assert [s.entries for s in archive.segments_for("machine")] == \
             [s.entries for s in log.segments_between_snapshots()]
 
@@ -86,7 +86,7 @@ class TestArchiveRoundTrip:
         assert reopened.recovery.clean
         assert reopened.recovery.machines == 1
         assert reopened.entry_count("machine") == len(log)
-        assert reopened.full_segment("machine").entries == log.entries
+        assert reopened.materialized_log("machine").entries == log.entries
         assert reopened.head_checkpoint("machine").chain_hash == log.head_hash
 
     def test_deep_verify_on_open(self, tmp_path):
@@ -172,7 +172,7 @@ class TestCrashRecoveryAndCorruption:
             MANIFEST_NAME + ".tmp",
             "machine/segment-99999990-99999999.avmlogz"]
         assert not orphan.exists() and not leftover_tmp.exists()
-        assert reopened.full_segment("machine").entries
+        assert reopened.materialized_log("machine").entries
 
     def test_foreign_files_are_never_deleted(self, tmp_path):
         root = tmp_path / "a"
@@ -267,7 +267,7 @@ class TestRetentionGC:
         reopened = LogArchive(root)
         assert reopened.recovery.clean
         assert reopened.retained_checkpoint("machine") == checkpoint
-        suffix = reopened.full_segment("machine")
+        suffix = reopened.materialized_log("machine")
         assert suffix.first_sequence == checkpoint.sequence + 1
         suffix.verify_hash_chain()
 
@@ -409,7 +409,7 @@ class TestArchivePicklableLog:
     def test_archived_entries_pickle_for_worker_pools(self, tmp_path):
         archive = LogArchive(tmp_path / "a")
         archive_sealed_log(archive, build_sealed_log())
-        segment = archive.full_segment("machine")
+        segment = archive.materialized_log("machine")
         assert pickle.loads(pickle.dumps(segment)).entries == segment.entries
 
 
@@ -435,7 +435,7 @@ class TestFleetArchiveEquivalence:
         for machine in fleet.machines:
             monitor = fleet.monitors[machine]
             assert monitor.shipped_through == len(monitor.log)
-            assert archive.full_segment(machine).entries == \
+            assert archive.materialized_log(machine).entries == \
                 monitor.log.full_segment().entries
             assert [s.entries for s in archive.segments_for(machine)] == \
                 [s.entries for s in monitor.log.segments_between_snapshots()]
@@ -546,7 +546,7 @@ class TestLossyShipping:
         assert monitor.archive_shipping_complete
         fleet.scheduler.run_until(fleet.scheduler.clock.now + 1.0)
         assert monitor.shipped_through == len(monitor.log)
-        assert archive.full_segment(machine).entries == \
+        assert archive.materialized_log(machine).entries == \
             monitor.log.full_segment().entries
         assert not fleet.ingest.quarantine
 

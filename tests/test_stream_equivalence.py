@@ -227,26 +227,15 @@ class TestReviewRegressions:
                 streaming=False)
 
 
-def test_full_segment_is_deprecated(archived_fleet, monkeypatch):
-    """The materializing shim still works, but warns once per process."""
-    import repro.store.archive as archive_module
+def test_full_segment_shim_is_gone(archived_fleet):
+    """The deprecated materializing shim was removed; materialized_log is
+    the one explicit-materialization entry point."""
     fleet, root = archived_fleet
     archive = LogArchive(root)
     machine = fleet.machines[0]
-    monkeypatch.setattr(archive_module, "_FULL_SEGMENT_WARNED", False)
-    with pytest.warns(DeprecationWarning, match="streams segments instead"):
-        full = archive.full_segment(machine)
+    assert not hasattr(archive, "full_segment")
+    full = archive.materialized_log(machine)
     assert len(full.entries) == archive.entry_count(machine)
-    # The audit hot path never touches the shim: a streamed audit with the
-    # latch re-armed must not warn.
-    monkeypatch.setattr(archive_module, "_FULL_SEGMENT_WARNED", False)
-    import warnings as warnings_module
-    service = _service(root)
-    with warnings_module.catch_warnings():
-        warnings_module.simplefilter("error", DeprecationWarning)
-        report = stream_audit(_prepared_auditor(fleet, service, machine),
-                              service.target_for(machine))
-    assert report.result.verdict is Verdict.PASS
 
 
 class TestTruncatedArchiveEquivalence:
