@@ -39,6 +39,7 @@ from repro.avmm.monitor import AccountableVMM
 from repro.errors import ReproError
 from repro.experiments.harness import GameSession, GameSessionSettings, build_trust
 from repro.network.simnet import SimulatedNetwork
+from repro.obs import Observability, ensure_obs
 from repro.service.ingest import AuditIngestService
 from repro.sim.scheduler import Scheduler
 from repro.store.archive import LogArchive
@@ -96,6 +97,29 @@ class CellOutcome:
                 f"evidence={'ok' if self.evidence_verified else 'BAD'} "
                 f"false={self.false_accusations or '-'}")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the cell (``--json`` output mode)."""
+        return {
+            "adversary": self.spec.adversary,
+            "workload": self.spec.workload,
+            "mode": self.spec.mode,
+            "fleet_size": self.spec.fleet_size,
+            "seed": self.spec.seed,
+            "byzantine": self.byzantine,
+            "honest_machines": list(self.honest_machines),
+            "expect_detection": self.expect_detection,
+            "detected": self.detected,
+            "verdict": self.verdict,
+            "phase": self.phase,
+            "reason": self.reason,
+            "evidence_verified": self.evidence_verified,
+            "false_accusations": list(self.false_accusations),
+            "quarantined_shipments": self.quarantined_shipments,
+            "equivocation_proof": self.equivocation_proof,
+            "detection_time": self.detection_time,
+            "expectation_met": self.expectation_met,
+        }
+
 
 @dataclass
 class MatrixReport:
@@ -138,6 +162,16 @@ class MatrixReport:
     def cells_for(self, adversary: str) -> List[CellOutcome]:
         return [cell for cell in self.cells if cell.spec.adversary == adversary]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the whole run (``--json`` output mode)."""
+        return {
+            "cells": [cell.to_dict() for cell in self.cells],
+            "detection_rate": self.detection_rate,
+            "false_accusation_count": self.false_accusation_count,
+            "all_evidence_verified": self.all_evidence_verified,
+            "ok": self.ok,
+        }
+
 
 class ScenarioMatrix:
     """Builds, runs and checks matrix cells.
@@ -150,7 +184,8 @@ class ScenarioMatrix:
 
     def __init__(self, workers: int = 2, executor: str = "thread",
                  duration: float = 4.0, snapshot_interval: float = 1.0,
-                 base_seed: int = 1000, ship_format_version: int = 1) -> None:
+                 base_seed: int = 1000, ship_format_version: int = 1,
+                 obs: Optional[Observability] = None) -> None:
         self.workers = workers
         self.executor = executor
         self.duration = duration
@@ -159,6 +194,9 @@ class ScenarioMatrix:
         #: wire codec the archive-mode fleets ship segments in
         #: (:mod:`repro.log.codec`); detection rows must not depend on it
         self.ship_format_version = ship_format_version
+        #: telemetry sink shared by every cell's auditors and ingest
+        #: services; observers only — detection rows must not depend on it
+        self.obs = ensure_obs(obs)
 
     # -- cell enumeration ---------------------------------------------------
 
@@ -319,7 +357,8 @@ class ScenarioMatrix:
                         ) -> Optional[AuditIngestService]:
         if archive_dir is None:
             return None
-        ingest = AuditIngestService(LogArchive(archive_dir), network=network)
+        ingest = AuditIngestService(LogArchive(archive_dir), network=network,
+                                    obs=self.obs)
         for monitor in monitors.values():
             monitor.attach_archive_shipper(
                 ingest.identity, format_version=self.ship_format_version)
@@ -359,7 +398,8 @@ class ScenarioMatrix:
         This is the multi-party collection step of Section 4.6 — and, for an
         equivocating target, the step that pools its conflicting views.
         """
-        auditor = Auditor("auditor", ctx.keystore, ctx.reference_images[machine])
+        auditor = Auditor("auditor", ctx.keystore, ctx.reference_images[machine],
+                          obs=self.obs)
         for peer in sorted(ctx.monitors):
             if peer != machine:
                 auditor.collect_from_peer(ctx.monitors[peer], machine)

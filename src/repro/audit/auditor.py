@@ -29,6 +29,7 @@ from repro.log.authenticator import Authenticator
 from repro.log.codec import modelled_compressed_log_bytes
 from repro.log.segments import LogSegment
 from repro.metrics.perfmodel import CostParameters
+from repro.obs import Observability, ensure_obs
 from repro.vm.image import VMImage
 
 if TYPE_CHECKING:  # pragma: no cover - avoid the auditor<->engine import cycle
@@ -46,13 +47,15 @@ class Auditor:
     def __init__(self, identity: str, keystore: KeyStore, reference_image: VMImage,
                  cost_params: Optional[CostParameters] = None,
                  workers: int = 1,
-                 engine: Optional["AuditScheduler"] = None) -> None:
+                 engine: Optional["AuditScheduler"] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.identity = identity
         self.keystore = keystore
         self.reference_image = reference_image
         self.cost_params = cost_params or CostParameters()
         self.workers = workers
         self._engine = engine
+        self.obs = ensure_obs(obs)
         self.collected_authenticators: Dict[str, List[Authenticator]] = {}
 
     @property
@@ -137,7 +140,24 @@ class Auditor:
     def audit_segment(self, machine: str, segment: LogSegment,
                       initial_state: Optional[Dict[str, Any]] = None,
                       snapshot_bytes: int = 0) -> AuditResult:
-        """Audit a log segment that has already been downloaded."""
+        """Audit a log segment that has already been downloaded.
+
+        This is the shared serial chokepoint (plain audits, spot-check
+        chunks, the engine's serial confirmation), so the obs wall timer
+        here guarantees ``AuditResult.wall_seconds`` is populated on
+        every front-end — the null tracer's timer still measures.
+        """
+        with self.obs.tracer.timed("audit.segment", track=machine,
+                                   machine=machine,
+                                   entries=len(segment.entries)) as timer:
+            result = self._audit_segment(machine, segment, initial_state,
+                                         snapshot_bytes)
+        result.wall_seconds = timer.seconds
+        return result
+
+    def _audit_segment(self, machine: str, segment: LogSegment,
+                       initial_state: Optional[Dict[str, Any]] = None,
+                       snapshot_bytes: int = 0) -> AuditResult:
         if segment.machine != machine:
             # A segment claiming another identity would sidestep every
             # authenticator check (none would apply) and could replay

@@ -337,6 +337,9 @@ class AuditScheduler:
         started = time.perf_counter()
         plans: List[_MachinePlan] = [self._plan(assignment)
                                      for assignment in assignments]
+        for plan in plans:
+            plan.auditor.obs.progress.machine_started(
+                plan.machine, total_chunks=len(plan.jobs))
         jobs: List[ChunkJob] = [job for plan in plans for job in plan.jobs]
         outcome_list = self._execute(jobs)
 
@@ -357,6 +360,22 @@ class AuditScheduler:
                 # the modelled speedup look better than the audit really was.
                 work_items.append(machine_report.result.cost.total_seconds)
         report.wall_seconds = time.perf_counter() - started
+        for plan in plans:
+            result = report.results[plan.machine]
+            if result.wall_seconds == 0.0:
+                # Chunks of many machines interleave on one pool, so the
+                # fast path cannot attribute wall time per machine; the
+                # fleet wall is the shared measurement.  (Serial confirms
+                # already carry their own audit_segment timing.)
+                result.wall_seconds = report.wall_seconds
+            obs = plan.auditor.obs
+            obs.progress.machine_done(plan.machine, result.verdict.value,
+                                      result.wall_seconds)
+            obs.tracer.event(
+                "audit.engine.machine", domain="wall", track=plan.machine,
+                timestamp=started, duration=report.wall_seconds,
+                chunks=len(plan.jobs), executor=report.executor_used,
+                verdict=result.verdict.value)
         report.total_cost = AuditCost.total(
             result.cost for result in report.results.values())
         report.modelled = schedule(work_items, self.workers)

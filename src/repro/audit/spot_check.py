@@ -355,7 +355,9 @@ class SpotChecker:
                 check_cross_references=True,
             ))
 
-        outcomes = self.engine.run_jobs(jobs)
+        with auditor.obs.tracer.timed("audit.spot_check", track=machine,
+                                      chunks=len(jobs), k=k) as timer:
+            outcomes = self.engine.run_jobs(jobs)
         results: List[SpotCheckResult] = []
         for index, job, outcome in zip(indices, jobs, outcomes):
             if outcome.ok:
@@ -364,6 +366,9 @@ class SpotChecker:
                     verdict=Verdict.PASS, phase=AuditPhase.COMPLETE,
                     authenticators_checked=outcome.authenticators_checked,
                     replay_report=outcome.replay_report, cost=outcome.cost)
+                # Chunks share one pool run; the pool wall is the shared
+                # measurement (serial re-audits below time themselves).
+                result.wall_seconds = timer.seconds
             else:
                 result = auditor.audit_segment(machine, job.segment,
                                                initial_state=job.initial_state,

@@ -47,6 +47,7 @@ parallel engine (:mod:`repro.audit.engine`).  ``tests/test_stream_equivalence
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -70,6 +71,7 @@ from repro.log.hashchain import (
 )
 from repro.log.segments import LogSegment
 from repro.log.authenticator import batch_verify_authenticators
+from repro.obs import Observability, ensure_obs
 
 __all__ = [
     "ArchiveEntryStream",
@@ -437,7 +439,8 @@ class StreamingAuditPipeline:
     def __init__(self, auditor, target,
                  max_chunks: Optional[int] = None,
                  signature_window: int = DEFAULT_SIGNATURE_WINDOW,
-                 confirm_failures_serially: bool = True) -> None:
+                 confirm_failures_serially: bool = True,
+                 obs: Optional[Observability] = None) -> None:
         if signature_window < 1:
             raise ValueError(
                 f"signature window must be >= 1, got {signature_window}")
@@ -446,6 +449,10 @@ class StreamingAuditPipeline:
         self.max_chunks = max_chunks
         self.signature_window = signature_window
         self.confirm_failures_serially = confirm_failures_serially
+        #: telemetry sink — defaults to the auditor's bundle, so an
+        #: observed auditor observes its streamed audits too
+        self.obs = ensure_obs(obs if obs is not None
+                              else getattr(auditor, "obs", None))
 
     # -- public API ----------------------------------------------------------
 
@@ -456,11 +463,20 @@ class StreamingAuditPipeline:
             # is an operational error, not a verdict.
             raise StoreError(f"no archived segments for {machine!r}")
         stats = StreamStats()
-        try:
-            result = self._stream(stats)
-        except _StreamFallback as handover:
-            stats.fallback_reason = handover.reason
-            result = self._fallback(handover)
+        obs = self.obs
+        obs.progress.machine_started(machine)
+        with obs.tracer.timed("audit.stream", track=machine,
+                              machine=machine) as timer:
+            try:
+                result = self._stream(stats)
+            except _StreamFallback as handover:
+                stats.fallback_reason = handover.reason
+                result = self._fallback(handover)
+        # The pipeline's wall clock covers the whole streamed audit,
+        # including any serial-confirm fallback (whose own audit_segment
+        # timing it supersedes).
+        result.wall_seconds = timer.seconds
+        obs.progress.machine_done(machine, result.verdict.value, timer.seconds)
         return StreamAuditReport(result=result, stats=stats)
 
     # -- the streaming fast path ---------------------------------------------
@@ -484,6 +500,15 @@ class StreamingAuditPipeline:
             machine, start.chain_hash,
             size_hint=getattr(target, "wire_size_hint", None))
 
+        # Telemetry (observers only — nothing below reads these back).
+        obs = self.obs
+        observed = obs.enabled
+        verify_hist = obs.metrics.histogram("audit.chunk.verify_seconds")
+        signature_hist = obs.metrics.histogram("audit.chunk.signature_seconds")
+        replay_hist = obs.metrics.histogram("audit.chunk.replay_seconds")
+        chunks_counter = obs.metrics.counter("audit.chunks_total")
+        entries_counter = obs.metrics.counter("audit.entries_streamed_total")
+
         merged = ReplayReport(machine=machine)
         active_buckets: Set[int] = set()
         authenticators_checked = 0
@@ -496,6 +521,7 @@ class StreamingAuditPipeline:
 
         chunks = iter_stream_chunks(target, max_chunks=self.max_chunks)
         while True:
+            decode_started = time.perf_counter() if observed else 0.0
             try:
                 chunk = next(chunks)
             except StopIteration:
@@ -505,12 +531,19 @@ class StreamingAuditPipeline:
                 # fallback produces the canonical evidence for it.
                 raise _StreamFallback(
                     AuditPhase.AUTHENTICATOR_CHECK, str(exc), None, None)
+            if observed:
+                # Decode + incremental chain verification happen inside the
+                # chunk iterator's next().
+                verify_hist.observe(time.perf_counter() - decode_started)
 
             segment = chunk.segment
             stats.chunks += 1
             stats.entries += len(segment.entries)
             stats.peak_chunk_entries = max(stats.peak_chunk_entries,
                                            len(segment.entries))
+            chunks_counter.inc()
+            entries_counter.inc(len(segment.entries))
+            chunk_started = time.perf_counter() if observed else 0.0
             last_sequence = chunk.end_checkpoint.sequence
             meter.add_many(segment.entries)
             for entry in segment.entries:
@@ -519,8 +552,12 @@ class StreamingAuditPipeline:
 
             # Commitment check: windowed batch signature verification plus
             # the chain-hash comparison against the streamed entries.
+            signature_started = time.perf_counter() if observed else 0.0
             authenticators_checked += self._check_authenticators(
                 segment, authenticators, stats)
+            if observed:
+                signature_hist.observe(
+                    time.perf_counter() - signature_started)
 
             # Per-entry syntactic checks (stream cross-checks run above).
             report = syntactic.check(segment)
@@ -546,8 +583,11 @@ class StreamingAuditPipeline:
                         target, previous_snapshot_entry)
                 except ReproError as exc:
                     raise _StreamFallback(None, str(exc), chunk, None)
+            replay_started = time.perf_counter() if observed else 0.0
             replay = semantic.check(segment, initial_state=chunk_state,
                                     carried_payloads=dict(carried_payloads))
+            if observed:
+                replay_hist.observe(time.perf_counter() - replay_started)
             self._merge_replay(merged, replay)
             if replay.diverged:
                 raise _StreamFallback(AuditPhase.SEMANTIC_CHECK,
@@ -566,6 +606,15 @@ class StreamingAuditPipeline:
             snapshot_entries = segment.entries_of_type(EntryType.SNAPSHOT)
             previous_snapshot_entry = (snapshot_entries[-1]
                                        if snapshot_entries else None)
+            if observed:
+                obs.tracer.event(
+                    "audit.chunk", domain="wall", track=machine,
+                    timestamp=chunk_started,
+                    duration=time.perf_counter() - chunk_started,
+                    chunk=chunk.index, entries=len(segment.entries),
+                    checkpoint_seq=chunk.end_checkpoint.sequence)
+            obs.progress.chunk_done(machine, entries=len(segment.entries),
+                                    checkpoint_seq=chunk.end_checkpoint.sequence)
 
         cross.finish(last_sequence)
         if not cross.ok:

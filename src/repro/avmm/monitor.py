@@ -38,6 +38,7 @@ from repro.log.segments import LogSegment
 from repro.log.storage import authenticators_to_bytes
 from repro.log.tamper_evident import TamperEvidentLog
 from repro.metrics.perfmodel import PerfModel
+from repro.obs import Observability, ensure_obs
 from repro.network.channel import ReliableChannel
 from repro.network.message import MessageKind, NetworkMessage
 from repro.network.simnet import SimulatedNetwork
@@ -77,7 +78,8 @@ class AccountableVMM:
                  scheduler: Scheduler, network: Optional[SimulatedNetwork] = None,
                  keypair: Optional[KeyPair] = None,
                  keystore: Optional[KeyStore] = None,
-                 clock_offset: float = 0.0, clock_drift: float = 0.0) -> None:
+                 clock_offset: float = 0.0, clock_drift: float = 0.0,
+                 obs: Optional[Observability] = None) -> None:
         self.identity = identity
         self.image = image
         self.config = config
@@ -87,6 +89,15 @@ class AccountableVMM:
         self.keystore = keystore
         self.perf = PerfModel.for_config(config)
         self.stats = MonitorStats()
+        # Telemetry (sim-clock domain: everything here happens in-simulation).
+        self.obs = ensure_obs(obs)
+        metrics = self.obs.metrics
+        self._m_log_entries = metrics.counter("monitor.log_entries_total")
+        self._m_log_bytes = metrics.counter("monitor.log_bytes_total")
+        self._m_log_length = metrics.gauge("monitor.log_length")
+        self._m_snapshots = metrics.counter("monitor.snapshots_total")
+        self._m_segments_shipped = metrics.counter("monitor.segments_shipped_total")
+        self._m_shipped_bytes = metrics.counter("monitor.shipped_bytes_total")
 
         self.host_clock = HostClock(scheduler.clock, offset=clock_offset,
                                     drift=clock_drift)
@@ -378,6 +389,11 @@ class AccountableVMM:
         self.stats.daemon_cpu_seconds += self.perf.daemon_cpu_for_log(entry_bytes)
         self.stats.daemon_cpu_seconds += self.perf.daemon_cpu_for_signatures(signed, verified)
         self.stats.vmm_cpu_seconds += self.perf.vmm_cpu_for_recording(1, entry_bytes)
+        # Log-append telemetry: every message-path append charges here, so
+        # this is the counting chokepoint (recorder-internal entries are
+        # reflected by the monitor.log_length gauge at seal time).
+        self._m_log_entries.inc()
+        self._m_log_bytes.inc(entry_bytes)
 
     # ------------------------------------------------------------------ snapshots
 
@@ -395,10 +411,20 @@ class AccountableVMM:
                                        dirty_paths=view.dirty_paths)
         self.vm.mark_snapshot_taken()
         delta = self.snapshots.get_incremental(snapshot.snapshot_id)
-        self.stats.vmm_cpu_seconds += self.perf.vmm_cpu_for_snapshot(
+        snapshot_cost = self.perf.vmm_cpu_for_snapshot(
             delta.incremental_bytes, delta.page_count)
+        self.stats.vmm_cpu_seconds += snapshot_cost
         self.recorder.record_snapshot(snapshot.snapshot_id, snapshot.state_root,
                                       snapshot.execution)
+        self._m_snapshots.inc()
+        self._m_log_length.set(len(self.log))
+        # Sim-domain span whose duration is the *modelled* snapshot charge —
+        # the simulator executes the take atomically, but the trace shows
+        # what it cost in simulated time.
+        self.obs.tracer.event(
+            "monitor.snapshot", track=self.identity,
+            duration=snapshot_cost, snapshot_id=snapshot.snapshot_id,
+            dirty_bytes=delta.incremental_bytes, pages=delta.page_count)
         self._ship_sealed_segment(snapshot.snapshot_id)
         return snapshot.snapshot_id
 
@@ -486,10 +512,10 @@ class AccountableVMM:
         # segment without its boundary snapshot must not become a GC/chunk
         # boundary on the archive side.
         headers = {"sealed_by_snapshot": snapshot_id} if snapshot_delivered else {}
+        payload = get_codec(self._archive_format_version).encode_segment(segment)
         accepted = self.network.send(NetworkMessage(
             source=self.identity, destination=self._archive_destination,
-            payload=get_codec(self._archive_format_version
-                              ).encode_segment(segment),
+            payload=payload,
             kind=MessageKind.ARCHIVE_SEGMENT, headers=headers))
         if not accepted:
             # Dropped at send time (loss/partition): keep the shipping cursor
@@ -497,6 +523,13 @@ class AccountableVMM:
             # the archive requires contiguity, so skipping would wedge it.
             return False
         self._shipped_through = last
+        self._m_segments_shipped.inc()
+        self._m_shipped_bytes.inc(len(payload))
+        self._m_log_length.set(len(self.log))
+        self.obs.tracer.event(
+            "monitor.ship_segment", track=self.identity,
+            entries=len(segment.entries), wire_bytes=len(payload),
+            sealed_by_snapshot=snapshot_id if snapshot_delivered else None)
         if self._archive_ship_authenticators:
             self._ship_peer_authenticators()
         return True

@@ -18,6 +18,7 @@ guests — each crossed with workloads, audit modes and fleet sizes
 from __future__ import annotations
 
 import argparse
+import json
 from typing import List, Optional, Sequence, Tuple
 
 from repro.adversary.matrix import CellSpec, MatrixReport, ScenarioMatrix
@@ -68,10 +69,17 @@ def main(argv: Optional[List[str]] = None) -> MatrixReport:
                         help="audit-engine workers for full-mode cells")
     parser.add_argument("--duration", type=float, default=4.0,
                         help="simulated seconds recorded per cell")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON instead of a table")
     args = parser.parse_args(argv)
 
     report = run_matrix(smoke=args.smoke, workers=args.workers,
                         duration=args.duration)
+    if args.json:
+        payload = report.to_dict()
+        payload["smoke"] = args.smoke
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return report
     rows = [_detection_summary(report, adversary)
             for adversary in report.adversaries()]
     print(f"Adversary scenario matrix: {len(report.cells)} cells "

@@ -32,6 +32,7 @@ from repro.crypto.keys import KeyStore
 from repro.errors import StoreError
 from repro.experiments.harness import build_trust, format_table
 from repro.network.simnet import SimulatedNetwork
+from repro.obs import NULL_OBS, Observability, ensure_obs
 from repro.service.ingest import DEFAULT_INGEST_IDENTITY, AuditIngestService
 from repro.sim.scheduler import Scheduler
 from repro.store.archive import LogArchive
@@ -52,6 +53,8 @@ class AuditFleet:
     #: the audit-ingest service, when the fleet was recorded with an archive
     ingest: Optional[AuditIngestService] = None
     scheduler: Optional[Scheduler] = None
+    #: telemetry sink the fleet was recorded under; auditors inherit it
+    obs: Observability = NULL_OBS
 
     @property
     def machines(self) -> List[str]:
@@ -65,7 +68,8 @@ class AuditFleet:
         starting point for archive-backed audits, where the ingest service
         supplies the archived authenticators instead of a live peer.
         """
-        auditor = Auditor(identity, self.keystore, self.reference_images[target])
+        auditor = Auditor(identity, self.keystore, self.reference_images[target],
+                          obs=self.obs)
         if collect:
             auditor.collect_from_peer(self.monitors[self.peers[target]], target)
         return auditor
@@ -80,7 +84,8 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
                 archive: Optional[LogArchive] = None,
                 ingest_identity: str = DEFAULT_INGEST_IDENTITY,
                 client_settings: Optional[SqlBenchSettings] = None,
-                ship_format_version: int = 1) -> AuditFleet:
+                ship_format_version: int = 1,
+                obs: Optional[Observability] = None) -> AuditFleet:
     """Record a fleet of ``num_machines`` (server+client pairs) for auditing.
 
     With an ``archive``, an :class:`~repro.service.ingest.AuditIngestService`
@@ -94,11 +99,19 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
     grow without growing entry counts.  ``ship_format_version`` selects the
     wire codec the monitors ship segments in (:mod:`repro.log.codec`); the
     archive's own ``format_version`` independently controls the stored
-    format, so mixed ship/store configurations are expressible.
+    format, so mixed ship/store configurations are expressible.  ``obs``
+    threads one telemetry sink (:mod:`repro.obs`) through every monitor, the
+    ingest service, and the auditors the fleet later makes — observers only,
+    it never changes what gets recorded or audited.
     """
     if num_machines < 2 or num_machines % 2:
         raise ValueError(f"fleet size must be an even number >= 2, got {num_machines}")
+    obs = ensure_obs(obs)
     scheduler = Scheduler()
+    if obs.enabled and getattr(obs.tracer, "sim_time", None) is None:
+        # Bind the sim clock domain to this fleet's clock so sim-domain
+        # events (snapshots, shipments, ingests) carry simulated timestamps.
+        obs.tracer.sim_time = scheduler.clock.read
     network = SimulatedNetwork(scheduler)
     config = AvmmConfig.for_configuration(Configuration.AVMM_RSA768,
                                           snapshot_interval=snapshot_interval)
@@ -126,16 +139,16 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
         monitors[server] = AccountableVMM(
             server, server_image, config, scheduler, network,
             keypair=keypairs[server], keystore=keystore,
-            clock_offset=0.0005 * index)
+            clock_offset=0.0005 * index, obs=obs)
         monitors[client] = AccountableVMM(
             client, client_image, config, scheduler, network,
             keypair=keypairs[client], keystore=keystore,
-            clock_offset=0.0005 * index + 0.0002)
+            clock_offset=0.0005 * index + 0.0002, obs=obs)
 
     ingest: Optional[AuditIngestService] = None
     if archive is not None:
         ingest = AuditIngestService(archive, identity=ingest_identity,
-                                    network=network)
+                                    network=network, obs=obs)
         for monitor in monitors.values():
             monitor.attach_archive_shipper(
                 ingest_identity, format_version=ship_format_version)
@@ -149,7 +162,7 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
         drain_fleet_to_archive(scheduler, monitors)
     return AuditFleet(monitors=monitors, reference_images=reference_images,
                       keystore=keystore, peers=peers, ingest=ingest,
-                      scheduler=scheduler)
+                      scheduler=scheduler, obs=obs)
 
 
 def drain_fleet_to_archive(scheduler: Scheduler,

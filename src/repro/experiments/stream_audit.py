@@ -28,15 +28,17 @@ O(log) terms dwarf the constant.
 
 from __future__ import annotations
 
+import argparse
 import bz2
 import gc
+import json
 import shutil
 import tempfile
 import time
 import tracemalloc
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.audit.stream import StreamAuditReport, stream_audit
 from repro.audit.verdict import AuditResult
@@ -87,6 +89,14 @@ class StreamAuditBenchResult:
         if self.streaming_wall <= 0:
             return 0.0
         return self.materializing_wall / self.streaming_wall
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view including the derived ratios (``--json`` mode)."""
+        payload = asdict(self)
+        payload["peak_ratio"] = self.peak_ratio
+        payload["data_peak_ratio"] = self.data_peak_ratio
+        payload["throughput_ratio"] = self.throughput_ratio
+        return payload
 
 
 def _measure_bz2_floor() -> int:
@@ -185,10 +195,23 @@ def _run(duration: float, payload_bytes: int, snapshot_interval: float,
     return result
 
 
-def main(duration: float = 50.0, payload_bytes: int = 16000) -> StreamAuditBenchResult:
+def main(duration: float = 50.0, payload_bytes: int = 16000,
+         argv: Optional[List[str]] = None) -> StreamAuditBenchResult:
     """Print the streaming-vs-materializing audit comparison."""
-    result = run_stream_audit_bench(duration=duration,
-                                    payload_bytes=payload_bytes)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=duration,
+                        help="simulated seconds recorded before auditing")
+    parser.add_argument("--payload-bytes", type=int, default=payload_bytes,
+                        help="sql-bench row payload size (byte-dense logs)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    result = run_stream_audit_bench(duration=args.duration,
+                                    payload_bytes=args.payload_bytes)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return result
     print(f"Streaming bounded-memory audit: {result.segments}-segment archived "
           f"run, {result.raw_bytes / 1e6:.1f} MB raw\n")
     rows = [

@@ -26,6 +26,20 @@ TCP_HEADER_BYTES = 40
 _message_counter = itertools.count(1)
 
 
+def reset_message_ids() -> None:
+    """Restart automatic message-id allocation from ``m0000000001``.
+
+    Message ids come from a process-global counter, so two fleets built in
+    the same process record *different* id strings (and therefore slightly
+    different log bytes) even with identical seeds.  Differential
+    experiments that must compare recorded runs byte-for-byte — e.g. the
+    telemetry on-vs-off proof — call this before each recording.  Never
+    call it mid-simulation: colliding ids would confuse ack matching.
+    """
+    global _message_counter
+    _message_counter = itertools.count(1)
+
+
 class MessageKind(enum.Enum):
     """What role an envelope plays in the protocol."""
 

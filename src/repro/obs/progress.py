@@ -1,0 +1,178 @@
+"""Live audit progress: per-machine / per-chunk status and peak-RSS samples.
+
+Long fleet audits stream hundreds of chunks per machine; the
+:class:`AuditProgress` reporter gives them a heartbeat.  The streaming
+pipeline and the engine call in as machines start, chunks complete and
+verdicts land; an optional callback fires on every update (CLI render,
+log line, test probe) and :meth:`render` formats the current state as a
+table.
+
+Peak RSS is sampled from ``resource.getrusage`` at a deterministic chunk
+stride.  Like every obs hook it is an observer only — nothing reads it
+back into the audit.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes (0 if unavailable)."""
+    if resource is None:  # pragma: no cover
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+@dataclass
+class MachineProgress:
+    """Rolling status of one machine's audit."""
+
+    machine: str
+    total_chunks: Optional[int] = None
+    chunks_done: int = 0
+    entries_done: int = 0
+    #: sequence number of the latest verified checkpoint boundary
+    checkpoint_seq: int = -1
+    verdict: Optional[str] = None
+    wall_seconds: float = 0.0
+    peak_rss_bytes: int = 0
+    done: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"machine": self.machine, "total_chunks": self.total_chunks,
+                "chunks_done": self.chunks_done,
+                "entries_done": self.entries_done,
+                "checkpoint_seq": self.checkpoint_seq,
+                "verdict": self.verdict, "wall_seconds": self.wall_seconds,
+                "peak_rss_bytes": self.peak_rss_bytes, "done": self.done}
+
+
+@dataclass
+class AuditProgress:
+    """Collects per-machine audit progress and samples peak RSS.
+
+    ``on_update`` (if given) is called with the updated
+    :class:`MachineProgress` after every event.  ``rss_sample_stride``
+    samples RSS on every n-th chunk per machine (a deterministic stride;
+    1 = every chunk).
+    """
+
+    on_update: Optional[Callable[[MachineProgress], None]] = None
+    rss_sample_stride: int = 1
+    machines: Dict[str, MachineProgress] = field(default_factory=dict)
+
+    def _entry(self, machine: str) -> MachineProgress:
+        entry = self.machines.get(machine)
+        if entry is None:
+            entry = MachineProgress(machine=machine)
+            self.machines[machine] = entry
+        return entry
+
+    def _fire(self, entry: MachineProgress) -> None:
+        if self.on_update is not None:
+            self.on_update(entry)
+
+    # -- events -------------------------------------------------------------------
+
+    def machine_started(self, machine: str,
+                        total_chunks: Optional[int] = None) -> None:
+        entry = self._entry(machine)
+        entry.total_chunks = total_chunks
+        entry.done = False
+        self._fire(entry)
+
+    def chunk_done(self, machine: str, entries: int = 0,
+                   checkpoint_seq: Optional[int] = None) -> None:
+        entry = self._entry(machine)
+        entry.chunks_done += 1
+        entry.entries_done += entries
+        if checkpoint_seq is not None:
+            entry.checkpoint_seq = checkpoint_seq
+        if self.rss_sample_stride > 0 \
+                and (entry.chunks_done - 1) % self.rss_sample_stride == 0:
+            rss = peak_rss_bytes()
+            if rss > entry.peak_rss_bytes:
+                entry.peak_rss_bytes = rss
+        self._fire(entry)
+
+    def machine_done(self, machine: str, verdict: str,
+                     wall_seconds: float = 0.0) -> None:
+        entry = self._entry(machine)
+        entry.verdict = verdict
+        entry.wall_seconds = wall_seconds
+        entry.done = True
+        rss = peak_rss_bytes()
+        if rss > entry.peak_rss_bytes:
+            entry.peak_rss_bytes = rss
+        self._fire(entry)
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def peak_rss(self) -> int:
+        """Highest RSS sample seen across all machines (bytes)."""
+        return max((m.peak_rss_bytes for m in self.machines.values()),
+                   default=0)
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return [self.machines[name].to_dict()
+                for name in sorted(self.machines)]
+
+    def render(self) -> str:
+        """The current fleet audit status as a small text table."""
+        lines = [f"{'machine':<24} {'chunks':>10} {'entries':>9} "
+                 f"{'verdict':>9} {'wall':>8}"]
+        for name in sorted(self.machines):
+            entry = self.machines[name]
+            total = "?" if entry.total_chunks is None else entry.total_chunks
+            chunks = f"{entry.chunks_done}/{total}"
+            verdict = entry.verdict or ("done" if entry.done else "...")
+            lines.append(f"{name:<24} {chunks:>10} {entry.entries_done:>9} "
+                         f"{verdict:>9} {entry.wall_seconds:>7.2f}s")
+        return "\n".join(lines)
+
+
+class NullAuditProgress:
+    """The disabled reporter: every event is a no-op."""
+
+    __slots__ = ()
+    machines: Dict[str, MachineProgress] = {}
+    peak_rss = 0
+
+    def machine_started(self, machine: str,
+                        total_chunks: Optional[int] = None) -> None:
+        pass
+
+    def chunk_done(self, machine: str, entries: int = 0,
+                   checkpoint_seq: Optional[int] = None) -> None:
+        pass
+
+    def machine_done(self, machine: str, verdict: str,
+                     wall_seconds: float = 0.0) -> None:
+        pass
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        return []
+
+    def render(self) -> str:
+        return ""
+
+    def __reduce__(self):
+        return (_null_progress, ())
+
+
+NULL_PROGRESS = NullAuditProgress()
+
+
+def _null_progress() -> NullAuditProgress:
+    return NULL_PROGRESS

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -41,6 +42,7 @@ from repro.log.segments import LogSegment
 from repro.log.storage import authenticators_from_bytes
 from repro.network.message import MessageKind, NetworkMessage
 from repro.network.simnet import SimulatedNetwork
+from repro.obs import Observability, ensure_obs
 from repro.service.target import ArchiveBackedMachine
 from repro.store.archive import LogArchive
 
@@ -94,11 +96,22 @@ class AuditIngestService:
 
     def __init__(self, archive: LogArchive,
                  identity: str = DEFAULT_INGEST_IDENTITY,
-                 network: Optional[SimulatedNetwork] = None) -> None:
+                 network: Optional[SimulatedNetwork] = None,
+                 obs: Optional[Observability] = None) -> None:
         self.archive = archive
         self.identity = identity
         self.network = network
         self.stats = IngestStats()
+        self.obs = ensure_obs(obs)
+        if self.obs.enabled and not archive.obs.enabled:
+            # An observed service observes its archive's disk traffic too.
+            archive.set_observability(self.obs)
+        metrics = self.obs.metrics
+        self._m_messages = metrics.counter("ingest.messages_total")
+        self._m_segments = metrics.counter("ingest.segments_ingested_total")
+        self._m_quarantined = metrics.counter("ingest.quarantined_total")
+        self._m_queue_depth = metrics.gauge("ingest.queue_depth")
+        self._m_decode = metrics.histogram("ingest.decode_seconds")
         self._quarantine_path = Path(archive.root) / "quarantine.jsonl"
         self.quarantine: List[QuarantinedShipment] = self._load_quarantine()
         #: machines with archived-but-unaudited segments, with segment counts
@@ -111,6 +124,7 @@ class AuditIngestService:
     def on_message(self, message: NetworkMessage) -> None:
         """Delivery callback registered with the simulated network."""
         self.stats.messages_received += 1
+        self._m_messages.inc()
         if message.kind is MessageKind.ARCHIVE_SEGMENT:
             self._on_segment(message)
         elif message.kind is MessageKind.ARCHIVE_AUTHENTICATORS:
@@ -120,6 +134,7 @@ class AuditIngestService:
         # Anything else is not part of the ingest protocol; ignore it.
 
     def _on_segment(self, message: NetworkMessage) -> None:
+        decode_started = time.perf_counter()
         try:
             # Sniffs the codec magic, so shipments in any registered wire
             # format (mixed-format fleets included) land in one archive.
@@ -134,6 +149,10 @@ class AuditIngestService:
             self._record_quarantine(QuarantinedShipment(
                 machine=message.source, reason=f"undecodable segment: {exc}"))
             return
+        self._m_decode.observe(time.perf_counter() - decode_started)
+        self.obs.tracer.event(
+            "ingest.segment", track=self.identity, source=message.source,
+            payload_bytes=len(message.payload), entries=len(segment.entries))
         if segment.machine != message.source:
             self.stats.segments_rejected += 1
             self._record_quarantine(QuarantinedShipment(
@@ -195,7 +214,14 @@ class AuditIngestService:
     # -- quarantine persistence ----------------------------------------------
 
     def _record_quarantine(self, shipment: QuarantinedShipment) -> None:
-        """Remember a refused shipment, durably."""
+        """Remember a refused shipment, durably.
+
+        The single quarantine chokepoint, so ``ingest.quarantined_total``
+        counts exactly one increment per refused shipment.
+        """
+        self._m_quarantined.inc()
+        self.obs.tracer.event("ingest.quarantine", track=self.identity,
+                              machine=shipment.machine, reason=shipment.reason)
         self.quarantine.append(shipment)
         with self._quarantine_path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(shipment.to_dict(), sort_keys=True) + "\n")
@@ -242,7 +268,9 @@ class AuditIngestService:
         self.stats.entries_ingested += record.entry_count
         self.stats.raw_bytes_ingested += record.raw_bytes
         self.stats.stored_bytes += record.stored_bytes
+        self._m_segments.inc()
         self._pending[segment.machine] = self._pending.get(segment.machine, 0) + 1
+        self._update_queue_depth()
         return True
 
     def ingest_authenticators(self, machine, authenticators) -> int:
@@ -281,6 +309,10 @@ class AuditIngestService:
 
     # -- the audit queue -----------------------------------------------------
 
+    def _update_queue_depth(self) -> None:
+        """Mirror the audit queue (total unaudited segments) into the gauge."""
+        self._m_queue_depth.set(sum(self._pending.values()))
+
     def pending_machines(self) -> List[str]:
         """Machines with archived segments not yet covered by an audit."""
         return sorted(self._pending)
@@ -313,6 +345,7 @@ class AuditIngestService:
         self.prepare_auditor(auditor, machine)
         result = auditor.audit(self.target_for(machine))
         self._pending.pop(machine, None)
+        self._update_queue_depth()
         return result
 
     def assignments(self, make_auditor: Callable[[str], Auditor]
@@ -344,6 +377,7 @@ class AuditIngestService:
             results.update(report.results)
             for machine in report.results:
                 self._pending.pop(machine, None)
+            self._update_queue_depth()
         for machine in self.pending_machines():
             results[machine] = self.audit_machine(make_auditor(machine), machine)
         return results

@@ -134,7 +134,7 @@ class LogArchive:
     """A durable archive of tamper-evident logs for a fleet of machines."""
 
     def __init__(self, root: Union[str, Path], deep_verify: bool = False,
-                 format_version: int = 1) -> None:
+                 format_version: int = 1, obs=None) -> None:
         """Open (or create) the archive rooted at ``root``.
 
         Opening replays the manifest: per machine, the segment records must
@@ -146,17 +146,39 @@ class LogArchive:
         with (see :mod:`repro.log.codec`); reading always follows each
         record's own ``format_version``, so one archive can hold a mix and
         old archives open regardless of the write-side setting.
+
+        ``obs`` (an :class:`repro.obs.Observability`) meters disk traffic —
+        segment read/write bytes and codec versions; the default is the
+        shared no-op bundle.
         """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.format_version = require_format_version(format_version,
                                                      what="log codec")
+        self.set_observability(obs)
         self._manifest = Manifest.load(self.root)
         self._index: Dict[str, List[SegmentRecord]] = {}
         self._auth_index: Dict[str, List[AuthBatchRecord]] = {}
         self._snapshot_index: Dict[str, Dict[int, SnapshotRecord]] = {}
         self._auth_counters: Dict[str, int] = {}
         self.recovery = self._recover(deep_verify=deep_verify)
+
+    def set_observability(self, obs) -> None:
+        """(Re)bind this archive's telemetry instruments to ``obs``.
+
+        Exists so a service constructed around an unobserved archive can
+        adopt it into its own metrics registry (the instruments are bound
+        once here, not looked up per segment).
+        """
+        from repro.obs import ensure_obs
+        self.obs = ensure_obs(obs)
+        metrics = self.obs.metrics
+        self._m_segments_written = metrics.counter("archive.segments_written_total")
+        self._m_raw_bytes_written = metrics.counter("archive.raw_bytes_written_total")
+        self._m_bytes_written = metrics.counter("archive.bytes_written_total")
+        self._m_segments_read = metrics.counter("archive.segments_read_total")
+        self._m_bytes_read = metrics.counter("archive.bytes_read_total")
+        self._m_snapshots_written = metrics.counter("archive.snapshots_written_total")
 
     # -- recovery ------------------------------------------------------------
 
@@ -338,6 +360,11 @@ class LogArchive:
         self._manifest.segments.append(record)
         self._index.setdefault(machine, []).append(record)
         self._manifest.write(self.root)
+        self._m_segments_written.inc()
+        self._m_raw_bytes_written.inc(raw)
+        self._m_bytes_written.inc(len(data))
+        self.obs.metrics.counter(
+            f"archive.segments_written.v{self.format_version}").inc()
         return record
 
     def store_authenticators(self, machine: str,
@@ -407,6 +434,7 @@ class LogArchive:
         self._manifest.snapshots.append(record)
         self._snapshot_index.setdefault(machine, {})[snapshot_id] = record
         self._manifest.write(self.root)
+        self._m_snapshots_written.inc()
         return record
 
     def store_snapshot_delta(self, machine: str, snapshot_id: int,
@@ -458,6 +486,7 @@ class LogArchive:
         self._manifest.snapshots.append(record)
         self._snapshot_index.setdefault(machine, {})[snapshot_id] = record
         self._manifest.write(self.root)
+        self._m_snapshots_written.inc()
         return record
 
     # -- reading -------------------------------------------------------------
@@ -480,6 +509,8 @@ class LogArchive:
             raise ArchiveIntegrityError(
                 f"archived segment {record.file_name} does not match its "
                 f"manifest record")
+        self._m_segments_read.inc()
+        self._m_bytes_read.inc(record.stored_bytes)
         return segment
 
     def stream_segment(self, record: SegmentRecord,
@@ -500,6 +531,8 @@ class LogArchive:
         """
         path = self.root / record.file_name
         decoder = SegmentStreamDecoder()
+        self._m_segments_read.inc()
+        self._m_bytes_read.inc(record.stored_bytes)
         last_entry: Optional[LogEntry] = None
         try:
             with open(path, "rb") as handle:
