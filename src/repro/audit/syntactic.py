@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.crypto import hashing
 from repro.crypto.keys import KeyStore
+from repro.errors import LogFormatError
 from repro.log.entries import EntryType, LogEntry
 from repro.log.segments import LogSegment
 
@@ -124,7 +125,16 @@ class SyntacticChecker:
     @staticmethod
     def _check_format(entry: LogEntry, report: SyntacticReport) -> None:
         required = _REQUIRED_FIELDS.get(entry.entry_type, set())
-        missing = required - set(entry.content)
+        try:
+            fields = set(entry.content)
+        except LogFormatError as exc:
+            # A lazily-decoded entry whose wire content bytes do not parse:
+            # the chain check already proves them inauthentic, but the format
+            # sweep must degrade to a report line, not an exception.
+            report.add(f"entry {entry.sequence} ({entry.entry_type.wire_name}) "
+                       f"carries unparseable content: {exc}")
+            return
+        missing = required - fields
         if missing:
             report.add(f"entry {entry.sequence} ({entry.entry_type.wire_name}) "
                        f"is missing fields {sorted(missing)}")

@@ -11,6 +11,7 @@ configurable so experiments can compare RSA-768 against larger keys.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
@@ -19,6 +20,13 @@ from repro.crypto.primes import generate_prime
 from repro.errors import KeyGenerationError, SignatureError
 
 _PUBLIC_EXPONENT = 65537
+
+#: the fixed length-framing bytes of ``hash_concat(digest, counter)`` —
+#: ``encode_digest`` runs once per signature on the audit hot path, so each
+#: expansion block is hashed in a single one-shot call over the identical
+#: byte stream instead of through the generic framing helper.
+_DIGEST_FRAME = (32).to_bytes(8, "big")
+_COUNTER_FRAME = (8).to_bytes(8, "big")
 
 
 @dataclass(frozen=True)
@@ -102,11 +110,14 @@ def encode_digest(message: bytes, modulus: int) -> int:
     """
     target_len = (modulus.bit_length() + 7) // 8
     digest = hashing.hash_bytes(message)
+    # Byte-for-byte identical to hash_concat(digest, encode_int(counter)),
+    # collapsed into one hash call per block: stored signatures were made
+    # under this exact encoding, so only the computation may change.
+    head = _DIGEST_FRAME + digest + _COUNTER_FRAME
     blocks = []
-    counter = 0
-    while sum(len(b) for b in blocks) < target_len:
-        blocks.append(hashing.hash_concat(digest, hashing.encode_int(counter)))
-        counter += 1
+    for counter in range((target_len + 31) // 32):
+        blocks.append(
+            hashlib.sha256(head + counter.to_bytes(8, "big")).digest())
     expanded = b"".join(blocks)[:target_len]
     expanded = b"\x00" + expanded[1:]  # ensure value < modulus
     value = int.from_bytes(expanded, "big")

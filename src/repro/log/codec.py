@@ -18,7 +18,7 @@ API:
 * **streaming** — :meth:`~LogCodec.stream_decoder` returns an incremental
   decoder that yields entries as byte chunks arrive, in O(chunk) memory.
 
-Two formats are registered:
+Three formats are registered:
 
 * ``format_version=1`` (:class:`JsonBz2Codec`, magic ``AVMLOGZ1``) — the
   original VMM-specific JSON pre-pass + bzip2 pipeline.  Byte-for-byte
@@ -26,10 +26,17 @@ Two formats are registered:
 * ``format_version=2`` (:class:`BinaryCodec`, magic ``AVMLOGB2``) — a
   little-endian struct-packed binary format with length-prefixed frames and
   ``memoryview``-based zero-copy decode.  No compression stage: the decode
-  hot path is a ``struct.unpack_from`` plus one ``json.loads`` of the
-  verbatim canonical content bytes, and the chain hash is verified over
-  those exact bytes, so a frame that passes chain verification is authentic
-  by collision resistance.
+  hot path is a ``struct.unpack_from`` plus one parse of the verbatim
+  canonical content bytes, and the chain hash is verified over those exact
+  bytes, so a frame that passes chain verification is authentic by
+  collision resistance.
+* ``format_version=3`` (:class:`TypedCodec`, magic ``AVMLOGT3``) — the v2
+  frame layout with two changes: decode is *lazy* (the frame's verbatim
+  canonical content bytes — typed-tagged since the typed content codec in
+  :mod:`repro.log.entries` — seed the entry without being parsed, deferring
+  materialization to first ``content`` access), and the header carries a
+  flags byte enabling optional per-frame ``zlib`` level-1 compression (on
+  by default for archives, off for latency-critical decode paths).
 
 The registry (:func:`get_codec`, :func:`codec_for_data`) keys codecs by
 ``format_version`` and sniffs stored blobs by magic; every
@@ -53,6 +60,7 @@ import bz2
 import codecs
 import json
 import struct
+import zlib
 from typing import (
     Callable,
     ClassVar,
@@ -69,6 +77,9 @@ from repro.errors import LogFormatError
 from repro.log.entries import (
     EntryType,
     LogEntry,
+    count_materialization,
+    decode_content,
+    lazy_entry,
     seed_encoded_content,
 )
 from repro.log.segments import LogSegment
@@ -77,6 +88,7 @@ __all__ = [
     "LogCodec",
     "JsonBz2Codec",
     "BinaryCodec",
+    "TypedCodec",
     "SegmentStreamDecoder",
     "MAGIC_LENGTH",
     "register_codec",
@@ -311,6 +323,7 @@ class _RowCodec:
         if "dc" in row:
             self._decode_counter += row["dc"]
             content["execution_counter"] = self._decode_counter
+        count_materialization()
         return LogEntry(
             sequence=sequence,
             entry_type=EntryType(row["t"]),
@@ -677,13 +690,11 @@ class BinaryCodec(LogCodec):
             raise LogFormatError(f"unknown binary entry-type tag {tag}")
         content_bytes = bytes(payload[_V2_FIXED.size:])
         try:
-            content = json.loads(content_bytes)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            content = decode_content(content_bytes)
+        except LogFormatError as exc:
             raise LogFormatError(
                 f"binary log frame carries undecodable content: {exc}") from exc
-        if not isinstance(content, dict):
-            raise LogFormatError(
-                "binary log frame content is not an object")
+        count_materialization()
         entry = LogEntry(sequence=sequence, entry_type=entry_type,
                          content=content, chain_hash=chain_hash,
                          previous_hash=previous_hash, timestamp=timestamp)
@@ -872,6 +883,319 @@ class _BinaryStreamDecoder(_StreamDecoderBase):
                     break
                 start = position + _V2_LENGTH.size
                 drained.append(codec.decode_entry(view[start:start + length]))
+                position = start + length
+        finally:
+            view.release()
+        if position:
+            del buffer[:position]
+        return drained
+
+
+# ---------------------------------------------------------------------------
+# format_version=3 — typed content, lazy decode, optional zlib frames
+# ---------------------------------------------------------------------------
+#
+# Layout (all integers little-endian, documented field by field in
+# docs/log-format.md):
+#
+#   magic     8s   b"AVMLOGT3"
+#   header    <HH  format_version (=3), machine_len
+#             machine_len bytes of UTF-8 machine name
+#             32s  start_hash
+#             <B   flags (bit 0: frames are zlib level-1 compressed)
+#             <I   entry_count
+#   frame*    <I   stored_len, then stored_len stored bytes — the entry
+#             payload verbatim, or its zlib level-1 deflate when flag bit 0
+#             is set
+#   payload   <QBd32s32sI  sequence, entry-type tag, timestamp, chain_hash,
+#                          previous_hash, content_len
+#             content_len bytes: the entry content's *canonical* encoding
+#             (repro.log.entries.encode_content — typed tag or JSON
+#             fallback), verbatim
+#
+# Same tamper-evidence argument as v2 — the chain hash commits to
+# H(content bytes) and decode seeds the cache with the wire bytes — but the
+# content bytes are never parsed during decode: the entry is constructed
+# lazily (repro.log.entries.lazy_entry) and materializes its dict only when
+# a consumer reads ``content``.  Chain verification, authenticator checks
+# and cost accounting touch only ``encoded_content()``, so a
+# verification-only pass performs zero content parses.
+
+_V3_FLAGS = struct.Struct("<B")
+#: v3 header flag bit 0 — every frame body is zlib.compress(payload, 1)
+V3_FLAG_COMPRESSED = 0x01
+
+
+def _inflate_frame(raw: Union[bytes, memoryview]) -> bytes:
+    try:
+        return zlib.decompress(bytes(raw))
+    except zlib.error as exc:
+        raise LogFormatError(
+            f"corrupt compressed typed log frame: {exc}") from exc
+
+
+def _iter_length_prefixed(body: Union[bytes, memoryview],
+                          what: str = "typed") -> Iterator[memoryview]:
+    view = memoryview(body)
+    position = 0
+    total = len(view)
+    while position < total:
+        if total - position < _V2_LENGTH.size:
+            raise LogFormatError(
+                f"truncated {what} log (dangling frame length)")
+        (length,) = _V2_LENGTH.unpack_from(view, position)
+        position += _V2_LENGTH.size
+        if total - position < length:
+            raise LogFormatError(
+                f"truncated {what} log (frame shorter than advertised)")
+        yield view[position:position + length]
+        position += length
+
+
+@register_codec
+class TypedCodec(LogCodec):
+    """``format_version=3``: typed content frames, lazy materialization.
+
+    ``compress=True`` (the default, what archives and shippers get from
+    ``get_codec(3)``) deflates every frame with zlib level 1 — cheap to
+    produce, and it wins back the stored-bytes regression the uncompressed
+    v2 format paid relative to v1's bzip2 pipeline.  Pass ``compress=False``
+    for raw frames when decode latency matters more than storage (the codec
+    benchmark's decode path).  Decoding honours the *header* flag, whatever
+    the instance was constructed with.
+    """
+
+    format_version = 3
+    MAGIC = b"AVMLOGT3"
+    SUFFIX = ".avmlogt"
+
+    def __init__(self, compress: bool = True) -> None:
+        self._compress = compress
+
+    # -- entry level ---------------------------------------------------------
+
+    def encode_entry(self, entry: LogEntry) -> bytes:
+        tag = _TYPE_TAGS.get(entry.entry_type)
+        if tag is None:  # pragma: no cover - the tag table covers the enum
+            raise LogFormatError(
+                f"no v3 wire tag for entry type {entry.entry_type!r}")
+        content = entry.encoded_content()
+        if len(entry.chain_hash) != _HASH_LENGTH \
+                or len(entry.previous_hash) != _HASH_LENGTH:
+            raise LogFormatError(
+                f"entry {entry.sequence} carries a non-{_HASH_LENGTH}-byte "
+                f"chain hash")
+        return _V2_FIXED.pack(entry.sequence, tag, entry.timestamp,
+                              entry.chain_hash, entry.previous_hash,
+                              len(content)) + content
+
+    def decode_entry(self, payload: Union[bytes, memoryview]) -> LogEntry:
+        size = len(payload)
+        if size < _V2_FIXED.size:
+            raise LogFormatError(
+                f"typed log frame too short ({size} bytes)")
+        sequence, tag, timestamp, chain_hash, previous_hash, content_len \
+            = _V2_FIXED.unpack_from(payload, 0)
+        if _V2_FIXED.size + content_len != size:
+            raise LogFormatError(
+                f"typed log frame advertises {content_len} content bytes "
+                f"but carries {size - _V2_FIXED.size}")
+        entry_type = _TAG_TYPES.get(tag)
+        if entry_type is None:
+            raise LogFormatError(f"unknown binary entry-type tag {tag}")
+        # No content parse here: the verbatim canonical bytes seed the
+        # entry, and materialization is deferred to first content access.
+        return lazy_entry(sequence=sequence, entry_type=entry_type,
+                          encoded_content=bytes(payload[_V2_FIXED.size:]),
+                          chain_hash=chain_hash,
+                          previous_hash=previous_hash,
+                          timestamp=timestamp)
+
+    # -- framing -------------------------------------------------------------
+
+    def frame(self, payload: bytes) -> bytes:
+        if self._compress:
+            payload = zlib.compress(payload, 1)
+        return _V2_LENGTH.pack(len(payload)) + payload
+
+    def iter_frames(self, body: Union[bytes, memoryview]
+                    ) -> Iterator[Union[bytes, memoryview]]:
+        if self._compress:
+            for raw in _iter_length_prefixed(body):
+                yield _inflate_frame(raw)
+        else:
+            yield from _iter_length_prefixed(body)
+
+    # -- segment level -------------------------------------------------------
+
+    def encode_segment(self, segment: LogSegment) -> bytes:
+        flags = V3_FLAG_COMPRESSED if self._compress else 0
+        parts = [self.MAGIC, self._pack_header(segment.machine,
+                                               segment.start_hash,
+                                               len(segment.entries), flags)]
+        pack_length = _V2_LENGTH.pack
+        deflate = zlib.compress if self._compress else None
+        append = parts.append
+        for entry in segment.entries:
+            payload = self.encode_entry(entry)
+            if deflate is not None:
+                payload = deflate(payload, 1)
+            append(pack_length(len(payload)))
+            append(payload)
+        return b"".join(parts)
+
+    def decode_segment(self, data: Union[bytes, memoryview]) -> LogSegment:
+        view = memoryview(data)
+        if bytes(view[:MAGIC_LENGTH]) != self.MAGIC:
+            raise LogFormatError("not a typed log segment (bad magic)")
+        machine, start_hash, flags, entry_count, body_start = \
+            self._unpack_header(view)
+        # Honour the stored flag: a codec constructed either way decodes
+        # blobs written either way.
+        self._compress = bool(flags & V3_FLAG_COMPRESSED)
+        entries: List[LogEntry] = []
+        for payload in self.iter_frames(view[body_start:]):
+            entries.append(self.decode_entry(payload))
+        if len(entries) != entry_count:
+            raise LogFormatError(
+                f"entry count mismatch: header says {entry_count}, "
+                f"found {len(entries)}")
+        return LogSegment(machine=machine, start_hash=start_hash,
+                          entries=entries)
+
+    def stream_decoder(self) -> "_TypedStreamDecoder":
+        return _TypedStreamDecoder()
+
+    # -- header helpers ------------------------------------------------------
+
+    @staticmethod
+    def _pack_header(machine: str, start_hash: bytes, entry_count: int,
+                     flags: int) -> bytes:
+        machine_bytes = machine.encode("utf-8")
+        if len(machine_bytes) > 0xFFFF:
+            raise LogFormatError("machine name too long for the v3 header")
+        if len(start_hash) != _HASH_LENGTH:
+            raise LogFormatError(
+                f"start hash must be {_HASH_LENGTH} bytes")
+        return (_V2_HEADER_PREFIX.pack(TypedCodec.format_version,
+                                       len(machine_bytes))
+                + machine_bytes + start_hash + _V3_FLAGS.pack(flags)
+                + _V2_LENGTH.pack(entry_count))
+
+    @staticmethod
+    def _unpack_header(view: memoryview):
+        """Parse the post-magic header; returns machine, hash, flags, count, offset."""
+        offset = MAGIC_LENGTH
+        if len(view) < offset + _V2_HEADER_PREFIX.size:
+            raise LogFormatError("truncated typed log header")
+        version, machine_len = _V2_HEADER_PREFIX.unpack_from(view, offset)
+        require_format_version(version, what="typed log segment",
+                               supported=(TypedCodec.format_version,))
+        offset += _V2_HEADER_PREFIX.size
+        end = offset + machine_len + _HASH_LENGTH + _V3_FLAGS.size \
+            + _V2_LENGTH.size
+        if len(view) < end:
+            raise LogFormatError("truncated typed log header")
+        try:
+            machine = bytes(view[offset:offset + machine_len]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LogFormatError(
+                f"typed log header machine name is not UTF-8: {exc}") from exc
+        offset += machine_len
+        start_hash = bytes(view[offset:offset + _HASH_LENGTH])
+        offset += _HASH_LENGTH
+        (flags,) = _V3_FLAGS.unpack_from(view, offset)
+        if flags & ~V3_FLAG_COMPRESSED:
+            raise LogFormatError(f"unknown v3 header flags 0x{flags:02x}")
+        offset += _V3_FLAGS.size
+        (entry_count,) = _V2_LENGTH.unpack_from(view, offset)
+        return machine, start_hash, flags, entry_count, end
+
+    @staticmethod
+    def _header_size_hint(buffer: Union[bytes, bytearray]) -> Optional[int]:
+        """Total header size once enough bytes are buffered, else ``None``."""
+        need = MAGIC_LENGTH + _V2_HEADER_PREFIX.size
+        if len(buffer) < need:
+            return None
+        _, machine_len = _V2_HEADER_PREFIX.unpack_from(buffer, MAGIC_LENGTH)
+        return need + machine_len + _HASH_LENGTH + _V3_FLAGS.size \
+            + _V2_LENGTH.size
+
+
+class _TypedStreamDecoder(_StreamDecoderBase):
+    """Incrementally decode a v3 segment from a byte stream.
+
+    Identical buffering strategy to :class:`_BinaryStreamDecoder` — complete
+    frames are unpacked straight out of the accumulation buffer through a
+    :class:`memoryview`, consumed prefixes are compacted away — plus the v3
+    specifics: the header flags select per-frame inflation, and entries come
+    out lazy (content bytes seeded, not parsed).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._declared_count: Optional[int] = None
+        self._compressed = False
+
+    def entries(self, chunks: Iterable[bytes]) -> Iterator[LogEntry]:
+        codec = TypedCodec()
+        buffer = bytearray()
+        header_done = False
+        for piece in chunks:
+            buffer += piece
+            if not header_done:
+                if len(buffer) >= MAGIC_LENGTH \
+                        and not buffer.startswith(TypedCodec.MAGIC):
+                    raise LogFormatError(
+                        "not a typed log segment (bad magic)")
+                header_size = TypedCodec._header_size_hint(buffer)
+                if header_size is None or len(buffer) < header_size:
+                    continue
+                machine, start_hash, flags, count, _ = \
+                    TypedCodec._unpack_header(memoryview(buffer))
+                self.header = _encode_v1_header(machine, start_hash)
+                self._declared_count = count
+                self._compressed = bool(flags & V3_FLAG_COMPRESSED)
+                del buffer[:header_size]
+                header_done = True
+            for entry in self._drain_frames(codec, buffer, self._compressed):
+                self.entry_count += 1
+                yield entry
+        if not header_done:
+            if len(buffer) >= MAGIC_LENGTH \
+                    and not buffer.startswith(TypedCodec.MAGIC):
+                raise LogFormatError("not a typed log segment (bad magic)")
+            raise LogFormatError("truncated typed log header")
+        if buffer:
+            raise LogFormatError(
+                "truncated typed log (stream ended mid-frame)")
+        if self._declared_count is not None \
+                and self.entry_count != self._declared_count:
+            raise LogFormatError(
+                f"entry count mismatch: header says {self._declared_count}, "
+                f"found {self.entry_count}")
+
+    @staticmethod
+    def _drain_frames(codec: TypedCodec, buffer: bytearray,
+                      compressed: bool) -> List[LogEntry]:
+        drained: List[LogEntry] = []
+        position = 0
+        total = len(buffer)
+        view = memoryview(buffer)
+        try:
+            while total - position >= _V2_LENGTH.size:
+                (length,) = _V2_LENGTH.unpack_from(view, position)
+                if total - position - _V2_LENGTH.size < length:
+                    break
+                start = position + _V2_LENGTH.size
+                # Keep the slice a temporary: a lingering local would hold a
+                # buffer export and break the compaction below.
+                if compressed:
+                    drained.append(codec.decode_entry(
+                        _inflate_frame(view[start:start + length])))
+                else:
+                    drained.append(codec.decode_entry(
+                        view[start:start + length]))
                 position = start + length
         finally:
             view.release()

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import enum
 import json
+import struct
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.crypto import hashing
 from repro.errors import LogFormatError
@@ -119,6 +120,22 @@ class LogEntry:
         except (KeyError, ValueError, TypeError) as exc:
             raise LogFormatError(f"malformed log entry: {exc}") from exc
 
+    def __getattr__(self, name: str) -> Any:
+        # Lazy content materialization: entries decoded from the v3 wire
+        # format carry only the verbatim canonical bytes (seeded into
+        # ``_encoded_content`` by :func:`lazy_entry`) and defer parsing until
+        # a consumer actually reads ``content``.  Chain verification,
+        # authenticator checks and cost accounting only touch
+        # ``encoded_content()``/hashes, so they never pay for a parse.
+        if name == "content":
+            encoded = self.__dict__.get("_encoded_content")
+            if encoded is not None:
+                content = decode_content(encoded)
+                _MATERIALIZATIONS.count += 1
+                object.__setattr__(self, "content", content)
+                return content
+        raise AttributeError(name)
+
 
 def seed_encoded_content(entry: LogEntry, data: bytes) -> None:
     """Pre-populate ``entry``'s encoded-content cache with known-good bytes.
@@ -132,17 +149,479 @@ def seed_encoded_content(entry: LogEntry, data: bytes) -> None:
     object.__setattr__(entry, "_encoded_content", bytes(data))
 
 
+class _MaterializationStats:
+    """Process-wide count of content parses (wire bytes -> dict).
+
+    Incremented by every codec path that turns canonical content bytes into
+    a ``content`` dictionary: the v1 row decoder, the eager v2 frame decoder
+    and the lazy v3 accessor.  A chain-verify-only pass over a v3 stream
+    should leave this untouched; :mod:`repro.obs` snapshots it into the
+    ``codec.content_materializations_total`` counter.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+_MATERIALIZATIONS = _MaterializationStats()
+
+
+def content_materializations_total() -> int:
+    """Total content materializations performed by this process so far."""
+    return _MATERIALIZATIONS.count
+
+
+def count_materialization() -> None:
+    """Record one content parse (used by the eager v1/v2 decode paths)."""
+    _MATERIALIZATIONS.count += 1
+
+
+def lazy_entry(sequence: int, entry_type: EntryType, encoded_content: bytes,
+               chain_hash: bytes, previous_hash: bytes,
+               timestamp: float = 0.0) -> LogEntry:
+    """Construct a :class:`LogEntry` whose content is parsed on first access.
+
+    The verbatim canonical bytes are seeded into the encoded-content cache;
+    ``entry.content`` stays unset until a consumer reads it, at which point
+    :meth:`LogEntry.__getattr__` decodes the cached bytes.  Hash-chain and
+    authenticator verification operate on ``encoded_content()`` alone, so a
+    verification-only pass performs zero content parses.
+    """
+    entry = LogEntry.__new__(LogEntry)
+    object.__setattr__(entry, "sequence", sequence)
+    object.__setattr__(entry, "entry_type", entry_type)
+    object.__setattr__(entry, "chain_hash", chain_hash)
+    object.__setattr__(entry, "previous_hash", previous_hash)
+    object.__setattr__(entry, "timestamp", timestamp)
+    object.__setattr__(entry, "_encoded_content", bytes(encoded_content))
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Typed content codec.
+#
+# The canonical encoding of entry content used to be canonical JSON for every
+# entry; profiling showed the one ``json.loads`` per entry dominating decode.
+# The typed layer struct-packs the high-frequency content shapes behind a
+# one-byte tag; canonical JSON remains the always-correct fallback for any
+# dict the typed encoders cannot represent exactly.  The two encodings are
+# disjoint on the first byte — typed tags are 0x01..0x1F while canonical JSON
+# for an object always starts with ``{`` (0x7B) — so the decoder dispatches on
+# a single byte and a forged cross-encoding collision would require breaking
+# the hash function.
+#
+# Every typed encoder is *strict*: it only claims a dict when the decode of
+# its output reproduces the dict exactly (same keys, same value types).  On
+# any mismatch it falls through — first to the generic row codec (flat
+# str->scalar dicts, the shared encoding for sqlbench rows/counters and kv
+# ops), then to JSON — so ``decode_content(encode_content(d)) == d`` holds
+# for every encodable dict, whichever tier it lands on.
+# ---------------------------------------------------------------------------
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+_U64_MAX = 0xFFFFFFFFFFFFFFFF
+_I64_MIN = -(1 << 63)
+
+TAG_SEND = 0x01
+TAG_RECV = 0x02
+TAG_RECV_PAYLOAD = 0x03
+TAG_ACK = 0x04
+TAG_SNAPSHOT = 0x05
+TAG_TIMETRACKER_VALUE = 0x06
+TAG_TIMETRACKER_TICK = 0x07
+TAG_MACLAYER_IN = 0x08
+TAG_MACLAYER_OUT = 0x09
+TAG_NONDET = 0x0A
+TAG_ROW = 0x0B
+
+_JSON_FIRST_BYTE = 0x7B  # '{'
+
+
+class _Untypeable(Exception):
+    """Internal: the value does not fit the typed encoding; fall back."""
+
+
+def _hash32_or_none(value: str) -> Optional[bytes]:
+    """Return the 32 raw bytes for a canonical (lowercase) 64-char hex digest."""
+    if len(value) != 64:
+        return None
+    try:
+        raw = bytes.fromhex(value)
+    except ValueError:
+        return None
+    if raw.hex() != value:  # rejects uppercase and embedded whitespace
+        return None
+    return raw
+
+
+def _pack_short_str(value: Any) -> bytes:
+    if type(value) is not str:
+        raise _Untypeable
+    try:
+        data = value.encode("utf-8")
+    except UnicodeEncodeError:
+        raise _Untypeable from None
+    if len(data) > 0xFFFF:
+        raise _Untypeable
+    return _U16.pack(len(data)) + data
+
+
+def _pack_u64(value: Any) -> bytes:
+    if type(value) is not int or not 0 <= value <= _U64_MAX:
+        raise _Untypeable
+    return _U64.pack(value)
+
+
+def _pack_f64(value: Any) -> bytes:
+    if type(value) is not float:
+        raise _Untypeable
+    return _F64.pack(value)
+
+
+def _pack_hash32(value: Any) -> bytes:
+    if type(value) is not str:
+        raise _Untypeable
+    raw = _hash32_or_none(value)
+    if raw is None:
+        raise _Untypeable
+    return raw
+
+
+def _pack_hexblob(value: Any) -> bytes:
+    if type(value) is not str or len(value) % 2:
+        raise _Untypeable
+    try:
+        raw = bytes.fromhex(value)
+    except ValueError:
+        raise _Untypeable from None
+    if raw.hex() != value or len(raw) > 0xFFFFFFFF:
+        raise _Untypeable
+    return _U32.pack(len(raw)) + raw
+
+
+_FIELD_PACKERS = {
+    "s": _pack_short_str,
+    "u64": _pack_u64,
+    "f64": _pack_f64,
+    "h32": _pack_hash32,
+    "hex": _pack_hexblob,
+}
+
+_ACK_DIRECTIONS = {"sent": b"\x00", "received": b"\x01"}
+
+# Wire field order for each dedicated content tag.  Field kinds: "s" short
+# string (u16 length + UTF-8), "u64"/"f64" little-endian scalars, "h32" a
+# 64-char lowercase hex digest stored as 32 raw bytes, "hex" an even-length
+# lowercase hex string stored as u32 length + raw bytes, "dir" the ACK
+# direction enum byte, "row" a nested flat row body, "const:X" a key whose
+# value must equal the literal X and occupies no wire bytes.
+_SHAPE_SPECS: Dict[int, Tuple[Tuple[str, str], ...]] = {
+    TAG_SEND: (
+        ("destination", "s"), ("message_id", "s"),
+        ("payload_hash", "h32"), ("payload_size", "u64"),
+    ),
+    TAG_RECV: (
+        ("source", "s"), ("message_id", "s"), ("payload_hash", "h32"),
+        ("payload_size", "u64"), ("sender_signature", "hex"),
+    ),
+    TAG_RECV_PAYLOAD: (
+        ("source", "s"), ("message_id", "s"), ("payload_hash", "h32"),
+        ("payload_size", "u64"), ("sender_signature", "hex"),
+        ("payload", "hex"), ("kind", "s"),
+    ),
+    TAG_ACK: (
+        ("peer", "s"), ("message_id", "s"), ("direction", "dir"),
+        ("acked_sequence", "u64"),
+    ),
+    TAG_SNAPSHOT: (
+        ("snapshot_id", "u64"), ("state_root", "h32"),
+        ("execution_counter", "u64"),
+    ),
+    TAG_TIMETRACKER_VALUE: (
+        ("event_kind", "s"), ("execution_counter", "u64"),
+        ("branch_counter", "u64"), ("value", "f64"),
+    ),
+    TAG_TIMETRACKER_TICK: (
+        ("event_kind", "s"), ("execution_counter", "u64"),
+        ("branch_counter", "u64"), ("tick_number", "u64"),
+    ),
+    TAG_MACLAYER_IN: (
+        ("direction", "const:in"), ("message_id", "s"), ("source", "s"),
+        ("payload_size", "u64"), ("execution_counter", "u64"),
+        ("branch_counter", "u64"),
+    ),
+    TAG_MACLAYER_OUT: (
+        ("direction", "const:out"), ("message_id", "s"),
+        ("destination", "s"), ("payload_hash", "h32"),
+        ("payload_size", "u64"), ("execution_counter", "u64"),
+        ("branch_counter", "u64"),
+    ),
+    TAG_NONDET: (
+        ("event_kind", "s"), ("execution_counter", "u64"), ("data", "row"),
+    ),
+}
+
+_SHAPE_BY_KEYS = {
+    frozenset(key for key, _ in spec): (tag, spec)
+    for tag, spec in _SHAPE_SPECS.items()
+}
+
+
+def _pack_row_value(value: Any) -> bytes:
+    if value is None:
+        return b"\x00"
+    kind = type(value)
+    if kind is bool:
+        return b"\x02" if value else b"\x01"
+    if kind is int:
+        if 0 <= value:
+            if value <= _U64_MAX:
+                return b"\x03" + _U64.pack(value)
+            raise _Untypeable
+        if value >= _I64_MIN:
+            return b"\x04" + _I64.pack(value)
+        raise _Untypeable
+    if kind is float:
+        return b"\x05" + _F64.pack(value)
+    if kind is str:
+        raw = _hash32_or_none(value)
+        if raw is not None:
+            return b"\x07" + raw
+        try:
+            data = value.encode("utf-8")
+        except UnicodeEncodeError:
+            raise _Untypeable from None
+        if len(data) > 0xFFFFFFFF:
+            raise _Untypeable
+        return b"\x06" + _U32.pack(len(data)) + data
+    raise _Untypeable
+
+
+def _pack_row_body(mapping: Dict[str, Any]) -> bytes:
+    try:
+        items = sorted(mapping.items())
+    except TypeError:
+        raise _Untypeable from None
+    parts = [_U32.pack(len(items))]
+    for key, value in items:
+        if type(key) is not str:
+            raise _Untypeable
+        parts.append(_pack_short_str(key))
+        parts.append(_pack_row_value(value))
+    return b"".join(parts)
+
+
+def _pack_shape(tag: int, spec: Tuple[Tuple[str, str], ...],
+                content: Dict[str, Any]) -> bytes:
+    parts = [bytes((tag,))]
+    for key, kind in spec:
+        value = content[key]
+        if kind == "dir":
+            if type(value) is not str or value not in _ACK_DIRECTIONS:
+                raise _Untypeable
+            parts.append(_ACK_DIRECTIONS[value])
+        elif kind == "row":
+            if type(value) is not dict:
+                raise _Untypeable
+            parts.append(_pack_row_body(value))
+        elif kind.startswith("const:"):
+            if value != kind[6:]:
+                raise _Untypeable
+        else:
+            parts.append(_FIELD_PACKERS[kind](value))
+    return b"".join(parts)
+
+
+class _ContentReader:
+    """Cursor over typed content bytes; raises LogFormatError on truncation."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes, pos: int = 1):
+        self.data = data
+        self.pos = pos
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise LogFormatError("typed entry content is truncated")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def i64(self) -> int:
+        return _I64.unpack(self.take(8))[0]
+
+    def f64(self) -> float:
+        return _F64.unpack(self.take(8))[0]
+
+    def short_str(self) -> str:
+        raw = self.take(self.u16())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LogFormatError(f"typed entry content has invalid UTF-8: {exc}") from exc
+
+    def long_str(self) -> str:
+        raw = self.take(self.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LogFormatError(f"typed entry content has invalid UTF-8: {exc}") from exc
+
+    def hexblob(self) -> str:
+        return self.take(self.u32()).hex()
+
+    def hash32(self) -> str:
+        return self.take(32).hex()
+
+    def expect_end(self) -> None:
+        if self.pos != len(self.data):
+            raise LogFormatError("typed entry content has trailing bytes")
+
+
+def _read_row_value(reader: _ContentReader) -> Any:
+    kind = reader.take(1)
+    if kind == b"\x03":
+        return reader.u64()
+    if kind == b"\x07":
+        return reader.hash32()
+    if kind == b"\x05":
+        return reader.f64()
+    if kind == b"\x06":
+        return reader.long_str()
+    if kind == b"\x00":
+        return None
+    if kind == b"\x01":
+        return False
+    if kind == b"\x02":
+        return True
+    if kind == b"\x04":
+        return reader.i64()
+    raise LogFormatError(f"unknown row value type 0x{kind.hex()}")
+
+
+def _unpack_row_body(reader: _ContentReader) -> Dict[str, Any]:
+    count = reader.u32()
+    content: Dict[str, Any] = {}
+    for _ in range(count):
+        key = reader.short_str()
+        content[key] = _read_row_value(reader)
+    return content
+
+
+def _unpack_shape(spec: Tuple[Tuple[str, str], ...], data: bytes) -> Dict[str, Any]:
+    reader = _ContentReader(data)
+    content: Dict[str, Any] = {}
+    for key, kind in spec:
+        if kind == "s":
+            content[key] = reader.short_str()
+        elif kind == "u64":
+            content[key] = reader.u64()
+        elif kind == "h32":
+            content[key] = reader.hash32()
+        elif kind == "hex":
+            content[key] = reader.hexblob()
+        elif kind == "f64":
+            content[key] = reader.f64()
+        elif kind == "dir":
+            token = reader.take(1)
+            if token == b"\x00":
+                content[key] = "sent"
+            elif token == b"\x01":
+                content[key] = "received"
+            else:
+                raise LogFormatError("invalid ack direction byte")
+        elif kind == "row":
+            content[key] = _unpack_row_body(reader)
+        else:
+            content[key] = kind[6:]  # const:X
+    reader.expect_end()
+    return content
+
+
 def encode_content(content: Dict[str, Any]) -> bytes:
-    """Canonical byte encoding of entry content.
+    """Canonical byte encoding of entry content (typed fast path + JSON).
+
+    Dicts matching one of the dedicated content shapes struct-pack behind
+    their tag byte; other flat str->scalar dicts take the generic row tag;
+    everything else falls back to canonical JSON (sorted keys, hex-encoded
+    bytes).  All three tiers are deterministic, so equal content always
+    produces equal canonical bytes and equal chain hashes.
+    """
+    if isinstance(content, dict):
+        shape = _SHAPE_BY_KEYS.get(frozenset(content))
+        if shape is not None:
+            try:
+                return _pack_shape(shape[0], shape[1], content)
+            except _Untypeable:
+                pass
+        try:
+            return b"\x0b" + _pack_row_body(content)
+        except _Untypeable:
+            pass
+    return encode_content_json(content)
+
+
+def encode_content_json(content: Dict[str, Any]) -> bytes:
+    """Canonical JSON encoding of entry content (the pre-typed-codec rule).
 
     Keys are sorted and bytes values are hex-encoded so the encoding is stable
-    across processes and Python versions.
+    across processes and Python versions.  Logs recorded before the typed
+    fast path existed committed their hash chains to these bytes; chain
+    verification falls back to them when the typed encoding does not match
+    (:func:`repro.log.hashchain.verify_entry`).
     """
     try:
         return json.dumps(content, sort_keys=True, separators=(",", ":"),
                           default=_default).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise LogFormatError(f"log entry content is not serialisable: {exc}") from exc
+
+
+def decode_content(data: bytes) -> Dict[str, Any]:
+    """Decode canonical content bytes (typed or JSON) back into a dict.
+
+    Raises :class:`LogFormatError` for anything malformed: unknown tags,
+    truncated or trailing bytes, invalid UTF-8, or JSON that is not an
+    object.
+    """
+    if not data:
+        raise LogFormatError("entry content is empty")
+    tag = data[0]
+    if tag == _JSON_FIRST_BYTE:
+        try:
+            content = json.loads(data)
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise LogFormatError(f"entry content carries undecodable JSON: {exc}") from exc
+        if not isinstance(content, dict):
+            raise LogFormatError("entry content is not an object")
+        return content
+    if tag == TAG_ROW:
+        reader = _ContentReader(data)
+        content = _unpack_row_body(reader)
+        reader.expect_end()
+        return content
+    spec = _SHAPE_SPECS.get(tag)
+    if spec is None:
+        raise LogFormatError(f"unknown typed-content tag 0x{tag:02x}")
+    return _unpack_shape(spec, data)
 
 
 def _default(value: Any) -> Any:

@@ -22,11 +22,20 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.crypto import hashing
-from repro.errors import HashChainError
-from repro.log.entries import EntryType, LogEntry, encode_content
+from repro.errors import HashChainError, LogFormatError
+from repro.log.entries import (
+    EntryType, LogEntry, encode_content, encode_content_json,
+    seed_encoded_content,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.log.authenticator import Authenticator
+
+
+#: the UTF-8 wire names, encoded once — ``_expected_chain_hash`` runs once
+#: per entry on the audit hot path
+_WIRE_NAME_BYTES = {entry_type: entry_type.wire_name.encode("utf-8")
+                    for entry_type in EntryType}
 
 
 def chain_hash(previous_hash: bytes, sequence: int, entry_type: EntryType,
@@ -36,7 +45,7 @@ def chain_hash(previous_hash: bytes, sequence: int, entry_type: EntryType,
     return hashing.hash_concat(
         previous_hash,
         hashing.encode_int(sequence),
-        entry_type.wire_name.encode("utf-8"),
+        _WIRE_NAME_BYTES[entry_type],
         content_hash,
     )
 
@@ -46,14 +55,52 @@ def _expected_chain_hash(previous_hash: bytes, entry: LogEntry) -> bytes:
     return hashing.hash_concat(
         previous_hash,
         hashing.encode_int(entry.sequence),
-        entry.entry_type.wire_name.encode("utf-8"),
+        _WIRE_NAME_BYTES[entry.entry_type],
         entry.content_hash(),
     )
 
 
+def _legacy_json_matches(previous_hash: bytes, entry: LogEntry) -> bool:
+    """Re-check the chain under the pre-typed canonical-JSON encoding.
+
+    Logs recorded before the typed content codec committed their chains to
+    canonical JSON bytes.  When such an entry is rebuilt from a materialized
+    dict (e.g. the JSON-lines debug store or a v1 archive), its cached
+    encoding is the *typed* one and the fast-path hash comparison fails even
+    though the entry is honest.  This fallback recomputes the hash over the
+    legacy JSON bytes; on a match it re-seeds the entry's cache with them so
+    later wire encoding and cost accounting reuse the committed encoding.
+
+    Both encodings are injective and disjoint on the first byte (typed tags
+    0x01..0x1F vs ``{``), so accepting either never admits content that
+    differs from what the recorder hashed.
+    """
+    try:
+        legacy = encode_content_json(entry.content)
+    except LogFormatError:
+        return False
+    expected = hashing.hash_concat(
+        previous_hash,
+        hashing.encode_int(entry.sequence),
+        entry.entry_type.wire_name.encode("utf-8"),
+        hashing.hash_bytes(legacy),
+    )
+    if expected != entry.chain_hash:
+        return False
+    seed_encoded_content(entry, legacy)
+    return True
+
+
+def _matches_chain(previous_hash: bytes, entry: LogEntry) -> bool:
+    """True when ``entry`` hashes to its recorded chain value."""
+    if _expected_chain_hash(previous_hash, entry) == entry.chain_hash:
+        return True
+    return _legacy_json_matches(previous_hash, entry)
+
+
 def verify_entry(entry: LogEntry) -> bool:
     """Check a single entry's chain hash against its own fields."""
-    return _expected_chain_hash(entry.previous_hash, entry) == entry.chain_hash
+    return _matches_chain(entry.previous_hash, entry)
 
 
 @dataclass(frozen=True)
@@ -128,7 +175,7 @@ def extend_checkpoint_batch(checkpoint: ChainCheckpoint,
             raise HashChainError(
                 f"chain break at sequence {entry.sequence}: "
                 f"previous hash mismatch")
-        if _expected_chain_hash(previous, entry) != entry.chain_hash:
+        if not _matches_chain(previous, entry):
             raise HashChainError(
                 f"entry {entry.sequence} does not hash to its recorded "
                 f"chain value")

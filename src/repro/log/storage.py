@@ -16,12 +16,44 @@ from typing import IO, Iterable, Iterator, List, Union
 from repro.errors import LogFormatError
 from repro.log.authenticator import Authenticator
 from repro.log.codec import require_format_version
-from repro.log.entries import LogEntry
+from repro.log.entries import EntryType, LogEntry
 from repro.log.segments import LogSegment
 
 #: version of the JSON-lines debug format (not a wire codec version; the
 #: binary/compressed wire formats live in :mod:`repro.log.codec`)
 _FORMAT_VERSION = 1
+
+#: one wire-name -> EntryType table for the line-oriented readers, instead of
+#: a per-line ``EntryType(value)`` enum call (which probes the enum machinery
+#: and raises/catches on the hot path)
+_WIRE_TYPES = {entry_type.value: entry_type for entry_type in EntryType}
+
+
+def _entry_from_row(row: dict) -> LogEntry:
+    """Fast row -> entry used by both line-oriented readers.
+
+    Behaviourally identical to ``LogEntry.from_dict`` (same fields, same
+    :class:`LogFormatError` on malformed rows) but resolves the entry type
+    through the shared :data:`_WIRE_TYPES` table and constructs the entry
+    directly, so per-line work is one dict lookup plus the two fixed-width
+    ``bytes.fromhex`` conversions — no enum probing, no redundant
+    re-validation of hex lengths the writer already guaranteed.
+    """
+    try:
+        entry_type = _WIRE_TYPES.get(row["type"])
+        if entry_type is None:
+            raise LogFormatError(
+                f"malformed log entry: {row['type']!r} is not a valid EntryType")
+        return LogEntry(
+            sequence=int(row["sequence"]),
+            entry_type=entry_type,
+            content=dict(row["content"]),
+            chain_hash=bytes.fromhex(row["chain_hash"]),
+            previous_hash=bytes.fromhex(row["previous_hash"]),
+            timestamp=float(row.get("timestamp", 0.0)),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise LogFormatError(f"malformed log entry: {exc}") from exc
 
 
 def segment_to_bytes(segment: LogSegment) -> bytes:
@@ -52,7 +84,7 @@ def segment_from_bytes(data: bytes) -> LogSegment:
         if not line.strip():
             continue
         try:
-            entries.append(LogEntry.from_dict(json.loads(line)))
+            entries.append(_entry_from_row(json.loads(line)))
         except json.JSONDecodeError as exc:
             raise LogFormatError(f"bad log entry line: {exc}") from exc
     if len(entries) != int(header.get("entry_count", len(entries))):
@@ -117,7 +149,7 @@ def _iter_entries(handle: IO[str]) -> Iterator[LogEntry]:
         if not line.strip():
             continue
         try:
-            entry = LogEntry.from_dict(json.loads(line))
+            entry = _entry_from_row(json.loads(line))
         except json.JSONDecodeError as exc:
             raise LogFormatError(f"bad log entry line: {exc}") from exc
         count += 1

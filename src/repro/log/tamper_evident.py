@@ -98,8 +98,13 @@ class TamperEvidentLog:
         return entry, self.authenticator_for(entry)
 
     def authenticator_for(self, entry: LogEntry) -> Authenticator:
-        """Create an authenticator for an already-appended entry."""
-        content_hash = hashing.hash_bytes(encode_content(entry.content))
+        """Create an authenticator for an already-appended entry.
+
+        Uses the entry's cached canonical bytes (seeded at append time) so
+        the authenticator commits to exactly what the chain hashed, without
+        re-encoding — or re-materializing — the content.
+        """
+        content_hash = entry.content_hash()
         if self.keypair is not None:
             return make_authenticator(
                 self.keypair,

@@ -23,6 +23,12 @@ Number = Union[int, float]
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536)
 
+#: bucket bounds for per-entry decode latency histograms (nanoseconds scale;
+#: a v3 lazy decode lands in the lowest buckets, a v1 row parse in the upper)
+NANOSECOND_BUCKETS: Tuple[float, ...] = (
+    250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0, 32000.0,
+    64000.0, 128000.0)
+
 
 class Counter:
     """A monotonically increasing counter."""

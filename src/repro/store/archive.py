@@ -86,9 +86,9 @@ _AUTH_NAME_RE = re.compile(r"^auths-(\d+)\.jsonl\.bz2$")
 #: file names the archive itself writes — the orphan sweep only ever touches
 #: these, so opening an archive in the wrong directory cannot destroy
 #: unrelated data.  Covers every codec's segment suffix (.avmlogz = v1
-#: JSON+bz2, .avmlogb = v2 binary).
+#: JSON+bz2, .avmlogb = v2 binary, .avmlogt = v3 typed).
 _OWNED_NAME_RE = re.compile(
-    r"^(segment-\d+-\d+\.(avmlogz|avmlogb)|auths-\d+\.jsonl\.bz2"
+    r"^(segment-\d+-\d+\.(avmlogz|avmlogb|avmlogt)|auths-\d+\.jsonl\.bz2"
     r"|snapshot-\d+(-kf)?\.json)$")
 
 
@@ -161,6 +161,21 @@ class LogArchive:
         self._auth_index: Dict[str, List[AuthBatchRecord]] = {}
         self._snapshot_index: Dict[str, Dict[int, SnapshotRecord]] = {}
         self._auth_counters: Dict[str, int] = {}
+        # Stat-validated parse caches for immutable archive files: repeated
+        # audits through one archive re-read the same authenticator batches,
+        # keyframes and deltas every run otherwise.  Keyframe pages are the
+        # full serialised state, so that cache is LRU-bounded; the others
+        # hold small parsed records.
+        self._auth_batch_cache: Dict[
+            str, Tuple[Tuple[int, int], List[Authenticator]]] = {}
+        self._keyframe_page_cache: Dict[
+            str, Tuple[Tuple[int, int], Tuple[bytes, ...]]] = {}
+        self._delta_cache: Dict[
+            str, Tuple[Tuple[int, int], IncrementalSnapshot]] = {}
+        self._snapshot_pages_cache: Dict[
+            Tuple[str, int],
+            Tuple[Tuple[Tuple[str, Tuple[int, int]], ...],
+                  Tuple[bytes, ...]]] = {}
         self.recovery = self._recover(deep_verify=deep_verify)
 
     def set_observability(self, obs) -> None:
@@ -704,12 +719,26 @@ class LogArchive:
                           start_hash=entries[0].previous_hash)
 
     def authenticators_for(self, machine: str) -> List[Authenticator]:
-        """All retained authenticators issued by ``machine``, shipment order."""
+        """All retained authenticators issued by ``machine``, shipment order.
+
+        Batch files are immutable once shipped (growth appends new files),
+        so each file's bz2+JSON parse is cached against its stat signature;
+        auditing the same archive repeatedly pays the decompression once.
+        """
         result: List[Authenticator] = []
         for batch in self._auth_index.get(machine, []):
             try:
-                data = (self.root / batch.file_name).read_bytes()
-                result.extend(authenticators_from_bytes(bz2.decompress(data)))
+                path = self.root / batch.file_name
+                stat = path.stat()
+                signature = (stat.st_mtime_ns, stat.st_size)
+                cached = self._auth_batch_cache.get(batch.file_name)
+                if cached is not None and cached[0] == signature:
+                    result.extend(cached[1])
+                    continue
+                parsed = authenticators_from_bytes(
+                    bz2.decompress(path.read_bytes()))
+                self._auth_batch_cache[batch.file_name] = (signature, parsed)
+                result.extend(parsed)
             except (OSError, EOFError, ValueError, LogFormatError) as exc:
                 raise ArchiveIntegrityError(
                     f"corrupt authenticator batch {batch.file_name}: {exc}") from exc
@@ -736,7 +765,14 @@ class LogArchive:
                 f"no archived snapshot {snapshot_id} for {machine!r}")
         chain: List[SnapshotRecord] = []
         base = record
+        pages: Optional[List[bytes]] = None
+        deps: List[Tuple[str, Tuple[int, int]]] = []
         while base.kind == "delta":
+            cached = self._cached_snapshot_pages(machine, base.snapshot_id)
+            if cached is not None:
+                deps.extend(cached[0])
+                pages = list(cached[1])
+                break
             chain.append(base)
             if base.base_snapshot_id is None:
                 raise ArchiveIntegrityError(
@@ -748,27 +784,120 @@ class LogArchive:
                     f"delta snapshot {base.snapshot_id} of {machine!r} "
                     f"references missing base {base.base_snapshot_id}")
             base = parent
+        if pages is None:
+            pages = self._keyframe_pages(base)
+            deps.append((base.file_name, self._file_signature(base.file_name)))
+        for delta_record in reversed(chain):
+            pages = apply_delta(pages, self._read_delta(delta_record))
+            deps.append((delta_record.file_name,
+                         self._file_signature(delta_record.file_name)))
+        if record.kind == "delta" and chain:
+            self._snapshot_pages_cache[(machine, record.snapshot_id)] = \
+                (tuple(deps), tuple(pages))
+            while (len(self._snapshot_pages_cache)
+                   > self._SNAPSHOT_PAGES_CACHE_LIMIT):
+                self._snapshot_pages_cache.pop(
+                    next(iter(self._snapshot_pages_cache)))
+        execution = ExecutionTimestamp(
+            instruction_count=int(record.execution.get("instructions", 0)),
+            branch_count=int(record.execution.get("branches", 0)))
+        # state=None: the Snapshot parses its state dict lazily from the
+        # canonical pages, so every caller gets a fresh dict even when the
+        # pages came out of the keyframe cache.
+        return Snapshot(snapshot_id=snapshot_id, execution=execution,
+                        pages=pages, state_root=record.state_root,
+                        state=None)
+
+    #: keyframes held in the page cache (full serialised states — bounded
+    #: so a long archive walk cannot accumulate every keyframe in memory)
+    _KEYFRAME_CACHE_LIMIT = 4
+
+    #: reconstructed delta snapshots held in the pages memo (see
+    #: :meth:`_cached_snapshot_pages`)
+    _SNAPSHOT_PAGES_CACHE_LIMIT = 4
+
+    def _file_signature(self, file_name: str) -> Tuple[int, int]:
+        stat = (self.root / file_name).stat()
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _cached_snapshot_pages(
+            self, machine: str, snapshot_id: int,
+    ) -> Optional[Tuple[Tuple[Tuple[str, Tuple[int, int]], ...],
+                        Tuple[bytes, ...]]]:
+        """A previously reconstructed (and Merkle-verified) delta snapshot.
+
+        An audit fetches snapshots in chunk order, and each fetch walks
+        the delta chain back to a keyframe — quadratic re-application of
+        the same deltas over one audit.  The memo keeps the page tuples of
+        the most recently reconstructed delta snapshots together with the
+        stat signatures of every file that went into them; a hit is only
+        served while all of those files are unchanged, so rewriting any
+        delta or keyframe in the chain forces a fresh (re-verified)
+        reconstruction.
+        """
+        entry = self._snapshot_pages_cache.get((machine, snapshot_id))
+        if entry is None:
+            return None
+        deps, pages = entry
         try:
-            payload = json.loads((self.root / base.file_name).read_text("utf-8"))
+            for file_name, signature in deps:
+                if self._file_signature(file_name) != signature:
+                    raise OSError("stale")
+        except OSError:
+            del self._snapshot_pages_cache[(machine, snapshot_id)]
+            return None
+        # Refresh LRU position.
+        self._snapshot_pages_cache[(machine, snapshot_id)] = \
+            self._snapshot_pages_cache.pop((machine, snapshot_id))
+        return deps, pages
+
+    def _keyframe_pages(self, base: SnapshotRecord) -> List[bytes]:
+        """The page list of an archived keyframe, via a stat-validated cache.
+
+        Keyframe files are immutable once written, so re-reading,
+        re-parsing and re-paginating them for every snapshot fetch of an
+        audit is pure waste; the cache keeps the canonical page tuple of
+        the most recently used keyframes and is invalidated by mtime/size.
+        """
+        path = self.root / base.file_name
+        try:
+            stat = path.stat()
+            signature = (stat.st_mtime_ns, stat.st_size)
+            cached = self._keyframe_page_cache.get(base.file_name)
+            if cached is not None and cached[0] == signature:
+                # Refresh LRU position.
+                self._keyframe_page_cache[base.file_name] = \
+                    self._keyframe_page_cache.pop(base.file_name)
+                return list(cached[1])
+            payload = json.loads(path.read_text("utf-8"))
             state = dict(payload["state"])
         except (OSError, ValueError, KeyError, TypeError) as exc:
             raise ArchiveIntegrityError(
                 f"corrupt archived snapshot {base.file_name}: {exc}") from exc
         page_size = base.page_size or PAGE_SIZE
         pages = paginate(serialize_state(state), page_size)
-        for delta_record in reversed(chain):
-            pages = apply_delta(pages, self._read_delta(delta_record))
-        execution = ExecutionTimestamp(
-            instruction_count=int(record.execution.get("instructions", 0)),
-            branch_count=int(record.execution.get("branches", 0)))
-        return Snapshot(snapshot_id=snapshot_id, execution=execution,
-                        pages=pages, state_root=record.state_root,
-                        state=state if not chain else None)
+        self._keyframe_page_cache[base.file_name] = (signature, tuple(pages))
+        while len(self._keyframe_page_cache) > self._KEYFRAME_CACHE_LIMIT:
+            self._keyframe_page_cache.pop(
+                next(iter(self._keyframe_page_cache)))
+        return pages
 
     def _read_delta(self, record: SnapshotRecord) -> IncrementalSnapshot:
-        """Load one delta-snapshot file back into its in-memory form."""
+        """Load one delta-snapshot file back into its in-memory form.
+
+        Delta files are immutable; reconstructing a snapshot chain walks
+        the same deltas a fetch at a time, so the parsed form is cached
+        against the file's stat signature.  :func:`apply_delta` treats the
+        delta as read-only, so sharing the cached instance is safe.
+        """
         try:
-            payload = json.loads((self.root / record.file_name).read_text("utf-8"))
+            path = self.root / record.file_name
+            stat = path.stat()
+            signature = (stat.st_mtime_ns, stat.st_size)
+            cached = self._delta_cache.get(record.file_name)
+            if cached is not None and cached[0] == signature:
+                return cached[1]
+            payload = json.loads(path.read_text("utf-8"))
             if payload.get("kind") != "delta":
                 raise ValueError(f"expected a delta, found {payload.get('kind')!r}")
             changed = {int(index): bytes.fromhex(page)
@@ -778,7 +907,7 @@ class LogArchive:
             raise ArchiveIntegrityError(
                 f"corrupt archived snapshot delta {record.file_name}: "
                 f"{exc}") from exc
-        return IncrementalSnapshot(
+        delta = IncrementalSnapshot(
             snapshot_id=record.snapshot_id,
             execution=ExecutionTimestamp(
                 instruction_count=int(record.execution.get("instructions", 0)),
@@ -789,6 +918,8 @@ class LogArchive:
             state_root=record.state_root,
             page_size=record.page_size or PAGE_SIZE,
         )
+        self._delta_cache[record.file_name] = (signature, delta)
+        return delta
 
     def snapshot_transfer_bytes(self, machine: str, snapshot_id: int) -> int:
         record = self._snapshot_index.get(machine, {}).get(snapshot_id)

@@ -18,6 +18,7 @@ No new dependencies: plain ``random.Random`` with fixed seeds.
 """
 
 import random
+import struct
 from dataclasses import replace
 
 import pytest
@@ -29,8 +30,9 @@ from repro.errors import (
     HashChainError,
     LogFormatError,
 )
+from repro.log import codec as codec_module
 from repro.log.authenticator import Authenticator, batch_verify_authenticators
-from repro.log.codec import get_codec
+from repro.log.codec import MAGIC_LENGTH, TypedCodec, get_codec
 from repro.log.entries import EntryType
 from repro.log.storage import (
     authenticators_from_bytes,
@@ -151,32 +153,52 @@ class TestSegmentBitFlips:
                                                       fuzz_keystore)
 
 
-@pytest.mark.parametrize("format_version", [1, 2])
+def _wire_codec(wire: str):
+    """A fresh codec per call — TypedCodec carries a compression flag."""
+    return {
+        "v1": get_codec(1),
+        "v2": get_codec(2),
+        "v3-raw": TypedCodec(compress=False),
+        "v3-zlib": TypedCodec(),
+    }[wire]
+
+
+#: wires whose body is not behind a compression stage: there a random flip
+#: usually survives parsing, so the chain/authenticator checks must fire
+_UNCOMPRESSED_WIRES = ("v2", "v3-raw")
+
+
+@pytest.mark.parametrize("wire", ["v1", "v2", "v3-raw", "v3-zlib"])
 class TestWireCodecBitFlips:
-    """The same single-bit-flip sweep over both *wire* codecs.
+    """The same single-bit-flip sweep over every *wire* codec setting.
 
     The JSON-lines sweep above covers the debug serialisation; this class
-    flips bits in the actual shipped/stored bytes — bz2-compressed v1 blobs
-    and packed binary v2 blobs — and demands the same trichotomy: reject at
-    parse, reject at verification, or provably outside the envelope.  For
-    v2 this also pins the cache-seeding contract: a tampered content byte
-    that still parses as JSON must fail the chain check, because
-    verification hashes the *wire* bytes, never a stale re-encoding.
+    flips bits in the actual shipped/stored bytes — bz2-compressed v1
+    blobs, packed binary v2 blobs and typed v3 blobs (both the raw decode-
+    path setting and the compressed archive default) — and demands the
+    same trichotomy: reject at parse, reject at verification, or provably
+    outside the envelope.  For v2/v3 this also pins the cache-seeding
+    contract: a tampered content byte that still parses must fail the
+    chain check, because verification hashes the *wire* bytes, never a
+    stale re-encoding.  v3's lazy entries may defer the parse failure to
+    first content access, which is why the equality probe runs only after
+    verification has already accepted the bytes.
     """
 
     def test_any_single_bit_flip_is_detected_or_outside_the_envelope(
-            self, recorded, fuzz_keystore, format_version):
+            self, recorded, fuzz_keystore, wire):
         log, authenticators, _ = recorded
         segment = log.full_segment()
-        data = get_codec(format_version).encode_segment(segment)
-        rng = random.Random(0xD0 + format_version)
+        codec = _wire_codec(wire)
+        data = codec.encode_segment(segment)
+        rng = random.Random(0xD0 + ["v1", "v2", "v3-raw",
+                                    "v3-zlib"].index(wire))
         parse_rejected = verify_rejected = bookkeeping_only = 0
 
         for _ in range(TRIALS):
             mutated_bytes = _flip_bit(data, rng)
             try:
-                mutated = get_codec(format_version).decode_segment(
-                    mutated_bytes)
+                mutated = codec.decode_segment(mutated_bytes)
             except LogFormatError:
                 parse_rejected += 1
                 continue
@@ -191,51 +213,73 @@ class TestWireCodecBitFlips:
                 verify_rejected += 1
                 continue
 
+            # Verification passed, so every entry's wire bytes hash to the
+            # recorded chain — materializing content here cannot fail.
             assert _entries_equal_modulo_timestamp(segment, mutated), \
                 "a bit flip survived verification but changed covered fields"
             bookkeeping_only += 1
 
         assert parse_rejected > 0
         assert parse_rejected + verify_rejected + bookkeeping_only == TRIALS
-        # bz2 swallows nearly every flip at decompression; the binary format
-        # has no compression stage, so flips must instead be caught by the
-        # chain/authenticator checks (or hit the uncovered timestamp field).
-        if format_version == 2:
+        # bz2/zlib swallow most flips at decompression; the uncompressed
+        # formats have no such stage, so flips must instead be caught by
+        # the chain/authenticator checks (or hit the uncovered timestamp).
+        if wire in _UNCOMPRESSED_WIRES:
             assert verify_rejected > 0
 
     def test_tampered_content_byte_fails_the_chain_check(
-            self, recorded, fuzz_keystore, format_version):
-        """Surgical tamper: change one content digit without breaking JSON."""
+            self, recorded, fuzz_keystore, wire):
+        """Surgical tamper: change one content byte, keep the blob parseable."""
         log, authenticators, _ = recorded
-        codec = get_codec(format_version)
-        data = codec.encode_segment(log.full_segment())
-        if format_version == 1:
+        codec = _wire_codec(wire)
+        segment = log.full_segment()
+        data = codec.encode_segment(segment)
+        if wire in ("v1", "v3-zlib"):
             # Tamper inside the compressed body, then re-decode: either the
-            # bz2 stream dies (parse reject) or the chain check fires.
+            # compression stream dies (parse reject) or the chain check
+            # fires.  Content access on a surviving flip may itself raise
+            # LogFormatError (lazy typed decode) — equally a detection.
             rng = random.Random(0xD16)
-            original = log.full_segment()
-            for _ in range(50):
+            for _ in range(80):
                 mutated_bytes = _flip_bit(data, rng)
                 try:
                     mutated = codec.decode_segment(mutated_bytes)
+                    if _entries_equal_modulo_timestamp(segment, mutated):
+                        continue  # outside the envelope; try again
                 except LogFormatError:
                     continue
-                if _entries_equal_modulo_timestamp(original, mutated):
-                    continue  # flip landed outside the envelope; try again
                 break
             else:
-                pytest.skip("every flip died in bz2 — covered by the sweep")
+                pytest.skip("every flip died in decompression — covered "
+                            "by the sweep")
         else:
-            # v2 stores content verbatim: flip a digit inside the first
-            # entry's JSON content so the frame still parses.
-            raw = bytearray(data)
-            marker = raw.find(b'"index":')
-            assert marker != -1
-            digit_at = marker + len(b'"index":')
-            while chr(raw[digit_at]) not in "0123456789":
-                digit_at += 1
-            raw[digit_at] = ord("7") if raw[digit_at] != ord("7") else ord("8")
-            mutated = codec.decode_segment(bytes(raw))
+            # v2 and v3-raw both store the recorder's committed content
+            # bytes verbatim behind a fixed frame prefix (the recorder now
+            # commits the typed encoding to every wire): walk the first
+            # frame's content bytes from the tail until a one-byte change
+            # both parses and alters the materialized content (e.g. inside
+            # a hash field's raw bytes).  v3 adds a header flags byte.
+            flags_width = 1 if wire == "v3-raw" else 0
+            header_end = (MAGIC_LENGTH + 4
+                          + len(segment.machine.encode("utf-8"))
+                          + 32 + flags_width + 4)
+            (frame_len,) = struct.unpack_from("<I", data, header_end)
+            content_start = header_end + 4 + codec_module._V2_FIXED.size
+            mutated = None
+            for offset in range(header_end + 4 + frame_len - 1,
+                                content_start - 1, -1):
+                raw = bytearray(data)
+                raw[offset] ^= 0x01
+                try:
+                    candidate = codec.decode_segment(bytes(raw))
+                    if (candidate.entries[0].content
+                            != segment.entries[0].content):
+                        mutated = candidate
+                        break
+                except LogFormatError:
+                    continue
+            assert mutated is not None, \
+                "no single-byte content change produced a parseable segment"
         with pytest.raises((HashChainError, AuthenticatorMismatchError)):
             mutated.verify_against_authenticators(authenticators,
                                                   fuzz_keystore)

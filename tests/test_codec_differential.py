@@ -1,13 +1,14 @@
-"""Cross-format differential tests: v1 and v2 archives are interchangeable.
+"""Cross-format differential tests: v1, v2 and v3 archives are interchangeable.
 
 The LogCodec contract is that the wire format is *invisible* above the codec
-layer: the same recorded log, stored or shipped in either format, must
+layer: the same recorded log, stored or shipped in any format, must
 produce structurally identical audit verdicts, evidence, replay reports and
 modelled :class:`~repro.audit.verdict.AuditCost` — on the serial and the
 streaming path alike.  These tests record one fleet (so the log bytes are
 fixed), then move its archive across formats via
-:meth:`~repro.store.archive.LogArchive.reencode_segments` and via
-ingest-service replay of v2-encoded shipments, and diff the audits.
+:meth:`~repro.store.archive.LogArchive.reencode_segments` (including the
+v2→v3 migration path) and via ingest-service replay of re-encoded
+shipments, and diff the audits.
 """
 
 from __future__ import annotations
@@ -40,6 +41,14 @@ def v2_root(recorded_fleet, tmp_path_factory):
     _, root = recorded_fleet
     destination = tmp_path_factory.mktemp("codec-diff-v2") / "archive-v2"
     LogArchive(root).reencode_segments(destination, format_version=2)
+    return destination
+
+
+@pytest.fixture(scope="module")
+def v3_root(v2_root, tmp_path_factory):
+    """v3 archive derived *from the v2 one*: exercises the migration path."""
+    destination = tmp_path_factory.mktemp("codec-diff-v3") / "archive-v3"
+    LogArchive(v2_root).reencode_segments(destination, format_version=3)
     return destination
 
 
@@ -81,18 +90,45 @@ class TestReencodedArchiveEquivalence:
                 data = (v2.root / r2.file_name).read_bytes()
                 assert sniff_format_version(data) == 2
 
-    def test_materialized_logs_are_identical(self, recorded_fleet, v2_root):
+    def test_v3_files_are_typed_and_indexed_as_v3(self, recorded_fleet,
+                                                  v3_root):
         fleet, root = recorded_fleet
-        v1, v2 = LogArchive(root), LogArchive(v2_root)
+        v1, v3 = LogArchive(root), LogArchive(v3_root)
         for machine in fleet.machines:
-            assert segment_to_bytes(v1.materialized_log(machine)) == \
-                segment_to_bytes(v2.materialized_log(machine))
-            assert v1.authenticators_for(machine) == \
-                v2.authenticators_for(machine)
+            v1_records = v1.segment_records(machine)
+            v3_records = v3.segment_records(machine)
+            assert len(v1_records) == len(v3_records)
+            for r1, r3 in zip(v1_records, v3_records):
+                assert (r1.first_sequence, r1.last_sequence,
+                        r1.start_hash, r1.end_hash) == \
+                    (r3.first_sequence, r3.last_sequence,
+                     r3.start_hash, r3.end_hash)
+                assert r3.format_version == 3
+                assert r3.file_name.endswith(".avmlogt")
+                # The v1-modelled size survives the v2→v3 migration, so the
+                # audit cost model stays denominated in canonical v1 bytes.
+                assert r3.wire_v1_bytes == r1.stored_bytes
+                data = (v3.root / r3.file_name).read_bytes()
+                assert sniff_format_version(data) == 3
 
-    def test_round_trip_back_to_v1(self, recorded_fleet, v2_root, tmp_path):
+    def test_materialized_logs_are_identical(self, recorded_fleet, v2_root,
+                                             v3_root):
         fleet, root = recorded_fleet
-        back = LogArchive(v2_root).reencode_segments(
+        v1 = LogArchive(root)
+        for other_root in (v2_root, v3_root):
+            other = LogArchive(other_root)
+            for machine in fleet.machines:
+                assert segment_to_bytes(v1.materialized_log(machine)) == \
+                    segment_to_bytes(other.materialized_log(machine))
+                assert v1.authenticators_for(machine) == \
+                    other.authenticators_for(machine)
+
+    @pytest.mark.parametrize("source_version", [2, 3])
+    def test_round_trip_back_to_v1(self, recorded_fleet, v2_root, v3_root,
+                                   tmp_path, source_version):
+        fleet, root = recorded_fleet
+        source = v2_root if source_version == 2 else v3_root
+        back = LogArchive(source).reencode_segments(
             tmp_path / "archive-v1-again", format_version=1)
         v1 = LogArchive(root)
         for machine in fleet.machines:
@@ -106,27 +142,29 @@ class TestReencodedArchiveEquivalence:
 
     @pytest.mark.parametrize("streaming", [False, True])
     def test_audits_are_structurally_identical(self, recorded_fleet, v2_root,
-                                               streaming):
+                                               v3_root, streaming):
         fleet, root = recorded_fleet
         v1_results = _audit_all(fleet, root, streaming)
-        v2_results = _audit_all(fleet, v2_root, streaming)
-        for machine in fleet.machines:
-            assert v1_results[machine].verdict is Verdict.PASS
-            assert v1_results[machine] == v2_results[machine], (
-                f"{machine}: v1 and v2 archives audit differently "
-                f"(streaming={streaming})")
+        for label, other_root in (("v2", v2_root), ("v3", v3_root)):
+            other_results = _audit_all(fleet, other_root, streaming)
+            for machine in fleet.machines:
+                assert v1_results[machine].verdict is Verdict.PASS
+                assert v1_results[machine] == other_results[machine], (
+                    f"{machine}: v1 and {label} archives audit differently "
+                    f"(streaming={streaming})")
 
 
 class TestMixedFormatIngest:
-    def test_v2_shipments_land_in_the_same_archive_state(self, recorded_fleet,
-                                                         tmp_path):
-        """Replaying the fleet's segments as v2 shipments (ingest sniffs the
-        magic) produces an archive that audits identically."""
+    @pytest.mark.parametrize("ship_version", [2, 3])
+    def test_reencoded_shipments_land_in_the_same_archive_state(
+            self, recorded_fleet, tmp_path, ship_version):
+        """Replaying the fleet's segments as v2/v3 shipments (ingest sniffs
+        the magic) produces an archive that audits identically."""
         fleet, root = recorded_fleet
         v1 = LogArchive(root)
         replayed_root = tmp_path / "replayed"
         ingest = AuditIngestService(LogArchive(replayed_root))
-        codec = get_codec(2)
+        codec = get_codec(ship_version)
         for machine in fleet.machines:
             for record in v1.segment_records(machine):
                 sealed = record.sealed_by_snapshot
@@ -141,11 +179,12 @@ class TestMixedFormatIngest:
             assert segment_to_bytes(replayed.materialized_log(machine)) == \
                 segment_to_bytes(v1.materialized_log(machine))
 
-    def test_garbage_v2_shipment_is_quarantined(self, tmp_path):
+    @pytest.mark.parametrize("magic", [b"AVMLOGB2", b"AVMLOGT3"])
+    def test_garbage_shipment_is_quarantined(self, tmp_path, magic):
         ingest = AuditIngestService(LogArchive(tmp_path / "q"))
         ingest.on_message(NetworkMessage(
             source="mallory", destination=ingest.identity,
-            payload=b"AVMLOGB2" + b"\x01\x02\x03",
+            payload=magic + b"\x01\x02\x03",
             kind=MessageKind.ARCHIVE_SEGMENT))
         assert ingest.stats.segments_rejected == 1
         assert any("undecodable segment" in q.reason
@@ -174,28 +213,31 @@ class TestAdversaryMatrixAcrossFormats:
         names = (["honest"] if "honest" in archive_capable else []) \
             + [name for name in archive_capable if name != "honest"][:2]
         rows = {}
-        for version in (1, 2):
+        for version in (1, 2, 3):
             matrix = ScenarioMatrix(ship_format_version=version)
             rows[version] = [
                 matrix.run_cell(CellSpec(name, "kv", "archive", 2,
                                          5000 + index))
                 for index, name in enumerate(names)]
-        for v1_cell, v2_cell in zip(rows[1], rows[2]):
-            for field in self.ROW_FIELDS:
-                assert getattr(v1_cell, field) == getattr(v2_cell, field), (
-                    f"{v1_cell.spec.label()}: {field} differs between "
-                    f"ship formats")
-            assert v1_cell.expectation_met
+        for other_version in (2, 3):
+            for v1_cell, other_cell in zip(rows[1], rows[other_version]):
+                for field in self.ROW_FIELDS:
+                    assert getattr(v1_cell, field) == \
+                        getattr(other_cell, field), (
+                            f"{v1_cell.spec.label()}: {field} differs "
+                            f"between ship formats 1 and {other_version}")
+                assert v1_cell.expectation_met
 
 
 class TestStoredFileTamper:
-    """Flipping bytes in stored segment files is caught in both formats."""
+    """Flipping bytes in stored segment files is caught in every format."""
 
-    @pytest.mark.parametrize("format_version", [1, 2])
+    @pytest.mark.parametrize("format_version", [1, 2, 3])
     def test_flipped_stored_byte_is_detected(self, recorded_fleet, v2_root,
-                                             tmp_path, format_version):
+                                             v3_root, tmp_path,
+                                             format_version):
         fleet, root = recorded_fleet
-        source = root if format_version == 1 else v2_root
+        source = {1: root, 2: v2_root, 3: v3_root}[format_version]
         work = LogArchive(source).reencode_segments(
             tmp_path / f"tamper-v{format_version}",
             format_version=format_version)

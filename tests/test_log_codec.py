@@ -14,9 +14,11 @@ from repro.crypto import hashing
 from repro.errors import LogFormatError
 from repro.log.codec import (
     MAGIC_LENGTH,
+    V3_FLAG_COMPRESSED,
     BinaryCodec,
     JsonBz2Codec,
     ModelledCostAccumulator,
+    TypedCodec,
     SegmentStreamDecoder,
     codec_for_data,
     decode_segment,
@@ -60,13 +62,14 @@ def sample_segment() -> LogSegment:
 
 
 class TestRegistry:
-    def test_both_formats_registered(self):
-        assert supported_format_versions() == [1, 2]
+    def test_all_formats_registered(self):
+        assert supported_format_versions() == [1, 2, 3]
 
     def test_get_codec_returns_fresh_instances(self):
         assert get_codec(1) is not get_codec(1)
         assert isinstance(get_codec(1), JsonBz2Codec)
         assert isinstance(get_codec(2), BinaryCodec)
+        assert isinstance(get_codec(3), TypedCodec)
 
     def test_unknown_version_is_one_well_typed_error(self):
         with pytest.raises(LogFormatError, match="format version"):
@@ -75,16 +78,18 @@ class TestRegistry:
             require_format_version(None, what="whatever")
 
     def test_magics_are_distinct_and_sized(self):
-        assert JsonBz2Codec.MAGIC != BinaryCodec.MAGIC
-        assert len(JsonBz2Codec.MAGIC) == MAGIC_LENGTH
-        assert len(BinaryCodec.MAGIC) == MAGIC_LENGTH
+        magics = {JsonBz2Codec.MAGIC, BinaryCodec.MAGIC, TypedCodec.MAGIC}
+        assert len(magics) == 3
+        for magic in magics:
+            assert len(magic) == MAGIC_LENGTH
 
     def test_suffixes(self):
         assert segment_suffix(1) == ".avmlogz"
         assert segment_suffix(2) == ".avmlogb"
+        assert segment_suffix(3) == ".avmlogt"
 
     def test_sniffing(self, sample_segment):
-        for version in (1, 2):
+        for version in (1, 2, 3):
             data = get_codec(version).encode_segment(sample_segment)
             assert sniff_format_version(data) == version
             assert codec_for_data(data).format_version == version
@@ -92,7 +97,7 @@ class TestRegistry:
             sniff_format_version(b"NOTMAGIC" + b"x" * 64)
 
 
-@pytest.mark.parametrize("format_version", [1, 2])
+@pytest.mark.parametrize("format_version", [1, 2, 3])
 class TestSegmentRoundTrip:
     def test_round_trip_preserves_everything(self, sample_segment,
                                              format_version):
@@ -178,6 +183,69 @@ class TestBinaryFormatErrors:
         decoder = SegmentStreamDecoder()
         with pytest.raises(LogFormatError, match="magic"):
             list(decoder.entries(iter([b"AVM"])))
+
+
+class TestTypedFormatErrors:
+    @staticmethod
+    def _header_end(sample_segment) -> int:
+        # magic + <HH> prefix + machine + 32-byte hash + flags + count
+        return (MAGIC_LENGTH + 4
+                + len(sample_segment.machine.encode()) + 32 + 1 + 4)
+
+    def test_bad_magic(self):
+        with pytest.raises(LogFormatError, match="magic"):
+            TypedCodec().decode_segment(b"WRONGMAG" + b"\x00" * 32)
+
+    def test_truncated_header(self, sample_segment):
+        data = get_codec(3).encode_segment(sample_segment)
+        with pytest.raises(LogFormatError, match="truncated"):
+            TypedCodec().decode_segment(data[:MAGIC_LENGTH + 2])
+
+    def test_truncated_frame(self, sample_segment):
+        data = get_codec(3).encode_segment(sample_segment)
+        with pytest.raises(LogFormatError):
+            TypedCodec().decode_segment(data[:-3])
+
+    def test_entry_count_mismatch(self, sample_segment):
+        codec = get_codec(3)
+        data = bytearray(codec.encode_segment(sample_segment))
+        data[self._header_end(sample_segment) - 1] ^= 0x01
+        with pytest.raises(LogFormatError, match="entry count mismatch"):
+            codec.decode_segment(bytes(data))
+
+    def test_unknown_header_flags_rejected(self, sample_segment):
+        data = bytearray(get_codec(3).encode_segment(sample_segment))
+        flags_offset = self._header_end(sample_segment) - 5
+        data[flags_offset] |= 0x80
+        with pytest.raises(LogFormatError, match="unknown v3 header flags"):
+            get_codec(3).decode_segment(bytes(data))
+
+    def test_corrupt_compressed_frame(self, sample_segment):
+        data = bytearray(TypedCodec(compress=True)
+                         .encode_segment(sample_segment))
+        # Clobber the first frame body (after header + 4-byte frame length).
+        offset = self._header_end(sample_segment) + 4
+        data[offset:offset + 4] = b"\xde\xad\xbe\xef"
+        with pytest.raises(LogFormatError,
+                           match="corrupt compressed typed log frame"):
+            TypedCodec().decode_segment(bytes(data))
+
+    def test_unknown_type_tag(self):
+        entry = _build_log(entries=1, snapshot_every=0).entries[0]
+        payload = bytearray(get_codec(3).encode_entry(entry))
+        payload[8] = 0xEE  # the type tag byte (after the u64 sequence)
+        with pytest.raises(LogFormatError, match="tag"):
+            get_codec(3).decode_entry(bytes(payload))
+
+    def test_decode_honours_header_flag_not_constructor(self, sample_segment):
+        raw = TypedCodec(compress=False).encode_segment(sample_segment)
+        compressed = TypedCodec(compress=True).encode_segment(sample_segment)
+        assert len(compressed) < len(raw)
+        for blob in (raw, compressed):
+            for codec in (TypedCodec(compress=False),
+                          TypedCodec(compress=True)):
+                decoded = codec.decode_segment(blob)
+                assert decoded.entries == sample_segment.entries
 
 
 class TestV1Errors:

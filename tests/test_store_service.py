@@ -597,3 +597,99 @@ class TestFleetArchiveTamperEvidence:
         assert archived.evidence is not None
         assert archived.evidence.verify(fleet.keystore,
                                         fleet.reference_images[machine])
+
+
+class TestArchiveParseCaches:
+    """The stat-validated parse caches for immutable archive files.
+
+    Repeated audits through one archive must not re-read authenticator
+    batches, keyframes or delta chains — but the caches have to be
+    invisible: cached fetches return structurally equal, *independent*
+    results, and any change to an underlying file forces a fresh parse.
+    """
+
+    def _snapshot_chain(self, root, machine="machine", snapshots=4):
+        from repro.vm.execution import ExecutionTimestamp
+        from repro.vm.snapshot import SnapshotManager
+        manager = SnapshotManager(keyframe_interval=10)
+        archive = LogArchive(root)
+        for index in range(snapshots):
+            state = {"counter": index,
+                     "items": {f"key-{j}": j * (index + 1) for j in range(40)}}
+            snapshot = manager.take(state, ExecutionTimestamp(index * 10, index))
+            delta = manager._deltas[snapshot.snapshot_id]
+            if snapshot.snapshot_id == 1:
+                archive.store_snapshot(
+                    machine, 1, state, snapshot.state_root, 500,
+                    page_size=manager.page_size, page_count=delta.page_count)
+            else:
+                archive.store_snapshot_delta(
+                    machine, snapshot.snapshot_id, delta.base_snapshot_id,
+                    delta.changed_pages, delta.page_count,
+                    delta.state_root, 100, page_size=delta.page_size)
+        return archive, manager
+
+    def test_cached_snapshot_fetches_match_fresh_archive(self, tmp_path):
+        archive, manager = self._snapshot_chain(tmp_path / "a")
+        warm_first = archive.load_snapshot("machine", 4)
+        warm_again = archive.load_snapshot("machine", 4)  # memo hit
+        cold = LogArchive(tmp_path / "a").load_snapshot("machine", 4)
+        reference = manager.get(4)
+        for snapshot in (warm_first, warm_again, cold):
+            assert snapshot.state == reference.state
+            assert snapshot.state_root == reference.state_root
+            assert snapshot.verify_root()
+
+    def test_cached_fetches_return_independent_state_dicts(self, tmp_path):
+        archive, _ = self._snapshot_chain(tmp_path / "a")
+        for snapshot_id in (1, 4):  # keyframe cache and pages memo
+            first = archive.load_snapshot("machine", snapshot_id)
+            second = archive.load_snapshot("machine", snapshot_id)
+            first.state["counter"] = -999
+            assert second.state["counter"] != -999, (
+                f"snapshot {snapshot_id}: cached fetches share a state dict")
+
+    def test_pages_memo_is_invalidated_when_a_chain_file_changes(
+            self, tmp_path):
+        archive, _ = self._snapshot_chain(tmp_path / "a")
+        archive.load_snapshot("machine", 4)  # warm the memo
+        # Corrupt a file in the *middle* of the dependency chain; a stale
+        # memo would happily keep serving snapshot 4 without noticing.
+        victim = archive.root / \
+            archive._snapshot_index["machine"][3].file_name
+        victim.write_text(victim.read_text("utf-8")[:40])
+        with pytest.raises(ArchiveIntegrityError):
+            archive.load_snapshot("machine", 4)
+
+    def test_keyframe_cache_is_invalidated_on_rewrite(self, tmp_path):
+        archive, _ = self._snapshot_chain(tmp_path / "a")
+        archive.load_snapshot("machine", 1)
+        victim = archive.root / \
+            archive._snapshot_index["machine"][1].file_name
+        victim.write_text("{not json")
+        with pytest.raises(ArchiveIntegrityError):
+            archive.load_snapshot("machine", 1)
+
+    def test_caches_stay_bounded(self, tmp_path):
+        archive, _ = self._snapshot_chain(tmp_path / "a", snapshots=12)
+        for snapshot_id in range(2, 13):
+            archive.load_snapshot("machine", snapshot_id)
+        assert len(archive._snapshot_pages_cache) <= \
+            archive._SNAPSHOT_PAGES_CACHE_LIMIT
+        assert len(archive._keyframe_page_cache) <= \
+            archive._KEYFRAME_CACHE_LIMIT
+
+    def test_authenticator_cache_matches_and_invalidates(self, tmp_path, ca):
+        alice = ca.issue("alice")
+        log = TamperEvidentLog("alice", keypair=alice)
+        auths = [log.authenticator_for(
+                     log.append(EntryType.NONDET, nondet_content("x", i)))
+                 for i in range(6)]
+        archive = LogArchive(tmp_path / "a")
+        record = archive.store_authenticators("alice", auths)
+        assert archive.authenticators_for("alice") == auths
+        assert archive.authenticators_for("alice") == auths  # cache hit
+        (archive.root / record.file_name).write_bytes(b"\x00garbage")
+        with pytest.raises(ArchiveIntegrityError,
+                           match="corrupt authenticator batch"):
+            archive.authenticators_for("alice")

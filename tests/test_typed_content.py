@@ -1,0 +1,310 @@
+"""The v3 typed content layer: struct-packed shapes + lazy materialization.
+
+Three contracts under test, entirely below the codec layer:
+
+* **Round-trip**: ``decode_content(encode_content(d)) == d`` for every
+  dict, whichever encoding tier it lands on — a dedicated typed shape, the
+  generic row codec, or the canonical-JSON fallback — and the typed and
+  JSON encodings of the same dict decode to the same dict.
+* **Strictness**: a dict only gets a typed tag when the typed encoding
+  reproduces it *exactly*; near-misses (wrong value type, non-canonical
+  hex, nested structure) fall through a tier instead of being coerced.
+* **Laziness**: entries built by :func:`~repro.log.entries.lazy_entry`
+  parse content only on first access, exactly once, and forged/``replace``d
+  entries never inherit a stale materialized dict or encoding cache.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto import hashing
+from repro.log import entries as entries_module
+from repro.log.codec import TypedCodec
+from repro.log.entries import (
+    EntryType,
+    LogEntry,
+    TAG_ACK,
+    TAG_MACLAYER_IN,
+    TAG_MACLAYER_OUT,
+    TAG_NONDET,
+    TAG_RECV,
+    TAG_RECV_PAYLOAD,
+    TAG_ROW,
+    TAG_SEND,
+    TAG_SNAPSHOT,
+    TAG_TIMETRACKER_TICK,
+    TAG_TIMETRACKER_VALUE,
+    content_materializations_total,
+    decode_content,
+    encode_content,
+    encode_content_json,
+    lazy_entry,
+    seed_encoded_content,
+)
+from repro.log.segments import LogSegment
+from repro.log.storage import segment_from_bytes, segment_to_bytes
+from repro.log.tamper_evident import TamperEvidentLog
+from repro.obs import CodecMetrics, MetricsRegistry, Observability
+
+DIGEST = hashing.hash_bytes(b"typed").hex()
+DIGEST2 = hashing.hash_bytes(b"typed-2").hex()
+
+#: one representative content dict per dedicated wire tag
+SHAPED_CONTENTS = {
+    TAG_SEND: {"destination": "m2", "message_id": "m1-17",
+               "payload_hash": DIGEST, "payload_size": 512},
+    TAG_RECV: {"source": "m1", "message_id": "m1-17",
+               "payload_hash": DIGEST, "payload_size": 512,
+               "sender_signature": "deadbeef00"},
+    TAG_RECV_PAYLOAD: {"source": "m1", "message_id": "m1-17",
+                       "payload_hash": DIGEST, "payload_size": 4,
+                       "sender_signature": "deadbeef00",
+                       "payload": "cafef00d", "kind": "request"},
+    TAG_ACK: {"peer": "m2", "message_id": "m1-17", "direction": "sent",
+              "acked_sequence": 99},
+    TAG_SNAPSHOT: {"snapshot_id": 7, "state_root": DIGEST,
+                   "execution_counter": 123456},
+    TAG_TIMETRACKER_VALUE: {"event_kind": "cpu", "execution_counter": 10,
+                            "branch_counter": 3, "value": 0.25},
+    TAG_TIMETRACKER_TICK: {"event_kind": "tick", "execution_counter": 10,
+                           "branch_counter": 3, "tick_number": 42},
+    TAG_MACLAYER_IN: {"direction": "in", "message_id": "m2-4",
+                      "source": "m2", "payload_size": 64,
+                      "execution_counter": 8, "branch_counter": 2},
+    TAG_MACLAYER_OUT: {"direction": "out", "message_id": "m1-5",
+                       "destination": "m2", "payload_hash": DIGEST2,
+                       "payload_size": 64, "execution_counter": 9,
+                       "branch_counter": 2},
+    TAG_NONDET: {"event_kind": "rng", "execution_counter": 77,
+                 "data": {"draw": 0.5, "source": "prng", "n": 3}},
+}
+
+
+class TestShapeRoundTrips:
+    @pytest.mark.parametrize(
+        "tag,content",
+        sorted(SHAPED_CONTENTS.items()),
+        ids=[f"0x{tag:02x}" for tag in sorted(SHAPED_CONTENTS)])
+    def test_dedicated_shape_round_trips_under_its_tag(self, tag, content):
+        wire = encode_content(content)
+        assert wire[0] == tag, "content did not land on its dedicated shape"
+        assert decode_content(wire) == content
+        # The same dict through the JSON fallback decodes identically, and
+        # the two encodings never collide on the first byte.
+        as_json = encode_content_json(content)
+        assert as_json[0] == ord("{")
+        assert decode_content(as_json) == content
+
+    def test_generic_row_covers_flat_scalar_dicts(self):
+        content = {"op": "put", "key": "k-12", "ok": True, "tries": 2,
+                   "cost": -3, "latency": 0.125, "note": None,
+                   "digest": DIGEST}
+        wire = encode_content(content)
+        assert wire[0] == TAG_ROW
+        assert decode_content(wire) == content
+        assert decode_content(encode_content_json(content)) == content
+
+    def test_row_fuzz_round_trips(self):
+        rng = random.Random(0x7E57)
+        scalars = [
+            lambda: rng.randrange(-(1 << 62), 1 << 63),
+            lambda: rng.random(),
+            lambda: rng.choice([True, False, None]),
+            lambda: "".join(chr(rng.randrange(32, 0x2FF))
+                            for _ in range(rng.randrange(12))),
+            lambda: hashing.hash_bytes(bytes([rng.randrange(256)])).hex(),
+        ]
+        for _ in range(200):
+            content = {f"k{i}": rng.choice(scalars)()
+                       for i in range(rng.randrange(1, 8))}
+            wire = encode_content(content)
+            assert wire[0] in (TAG_ROW, ord("{"))
+            decoded = decode_content(wire)
+            assert decoded == content
+            # Value types survive exactly (True != 1 despite ==).
+            assert [type(v) for v in decoded.values()] == \
+                [type(v) for v in content.values()]
+
+
+class TestFallbackTiers:
+    """Near-miss dicts must fall through a tier, never be coerced."""
+
+    @pytest.mark.parametrize("mutation,expect_json", [
+        # Wrong value type for a shaped field -> row can still take it.
+        (lambda c: c.update(payload_size=-1), False),
+        # bool is not u64 even though isinstance(True, int).
+        (lambda c: c.update(payload_size=True), False),
+        # Non-canonical (uppercase) digest: h32 refuses, row stores a str.
+        (lambda c: c.update(payload_hash=DIGEST.upper()), False),
+        # Nested dict value: only JSON can represent it.
+        (lambda c: c.update(destination={"host": "m2"}), True),
+        # List value: only JSON.
+        (lambda c: c.update(message_id=["a"]), True),
+    ])
+    def test_send_near_miss_falls_through(self, mutation, expect_json):
+        content = dict(SHAPED_CONTENTS[TAG_SEND])
+        mutation(content)
+        wire = encode_content(content)
+        if expect_json:
+            assert wire[0] == ord("{")
+        else:
+            assert wire[0] == TAG_ROW
+        assert decode_content(wire) == content
+
+    def test_extra_key_leaves_the_dedicated_shape(self):
+        content = dict(SHAPED_CONTENTS[TAG_ACK], extra=1)
+        wire = encode_content(content)
+        assert wire[0] != TAG_ACK
+        assert decode_content(wire) == content
+
+    def test_ack_direction_outside_enum_falls_back(self):
+        content = dict(SHAPED_CONTENTS[TAG_ACK], direction="sideways")
+        wire = encode_content(content)
+        assert wire[0] == TAG_ROW
+        assert decode_content(wire) == content
+
+
+@pytest.fixture
+def signed_log(ca):
+    keypair = ca.issue("lazy-machine")
+    log = TamperEvidentLog("lazy-machine", keypair=keypair,
+                           clock=lambda: 1.5)
+    for index in range(6):
+        log.append(EntryType.SEND, {
+            "destination": "m2", "message_id": f"m1-{index}",
+            "payload_hash": DIGEST, "payload_size": index})
+    return log
+
+
+class TestLazyMaterialization:
+    def test_lazy_entry_defers_the_parse_and_counts_it_once(self):
+        content = dict(SHAPED_CONTENTS[TAG_SNAPSHOT])
+        wire = encode_content(content)
+        entry = lazy_entry(5, EntryType.SNAPSHOT, wire,
+                           hashing.hash_bytes(b"c"),
+                           hashing.hash_bytes(b"p"), timestamp=2.5)
+        assert "content" not in entry.__dict__
+        before = content_materializations_total()
+        assert entry.encoded_content() == wire  # no parse needed
+        assert entry.content_hash() == hashing.hash_bytes(wire)
+        assert content_materializations_total() == before
+        assert entry.content == content  # first touch parses...
+        assert content_materializations_total() == before + 1
+        assert entry.content is entry.content  # ...and is cached
+        assert content_materializations_total() == before + 1
+
+    def test_v3_decode_is_lazy_until_content_access(self, signed_log):
+        blob = TypedCodec().encode_segment(signed_log.full_segment())
+        before = content_materializations_total()
+        segment = TypedCodec().decode_segment(blob)
+        segment.verify_hash_chain()
+        assert content_materializations_total() == before
+        assert segment.entries[0].content["message_id"] == "m1-0"
+        assert content_materializations_total() == before + 1
+
+    def test_each_decode_gets_an_independent_content_dict(self, signed_log):
+        blob = TypedCodec().encode_segment(signed_log.full_segment())
+        first = TypedCodec().decode_segment(blob).entries[0]
+        second = TypedCodec().decode_segment(blob).entries[0]
+        first.content["payload_size"] = 10_000  # simulated consumer abuse
+        assert second.content["payload_size"] == 0
+        assert first.content is not second.content
+
+    def test_replaced_entry_does_not_inherit_caches(self, signed_log):
+        blob = TypedCodec().encode_segment(signed_log.full_segment())
+        entry = TypedCodec().decode_segment(blob).entries[0]
+        original_wire = entry.encoded_content()
+        _ = entry.content  # materialize, so both caches are warm
+        forged = replace(entry, content={**entry.content,
+                                         "payload_size": 666})
+        # The forged entry re-encodes its own content: neither the wire
+        # bytes nor the content dict leak over from the original.
+        assert forged.encoded_content() != original_wire
+        assert decode_content(forged.encoded_content())["payload_size"] == 666
+        assert entry.content["payload_size"] == 0
+
+    def test_seeded_tampered_bytes_fail_at_materialization(self):
+        wire = bytearray(encode_content(SHAPED_CONTENTS[TAG_SEND]))
+        wire[0] = 0xEE  # unknown tag
+        entry = lazy_entry(1, EntryType.SEND, bytes(wire),
+                           hashing.hash_bytes(b"c"),
+                           hashing.hash_bytes(b"p"))
+        with pytest.raises(Exception) as excinfo:
+            _ = entry.content
+        assert "tag" in str(excinfo.value)
+
+    def test_recorder_seeds_typed_bytes_at_append(self, signed_log):
+        entry = signed_log.full_segment().entries[0]
+        wire = entry.__dict__.get("_encoded_content")
+        assert wire is not None and wire[0] == TAG_SEND
+        # ...and the chain committed to exactly those bytes.
+        assert entry.content_hash() == hashing.hash_bytes(wire)
+
+
+class TestStorageFastPath:
+    """The JSON-lines debug store behaves identically through the fast path."""
+
+    def test_round_trip_matches_from_dict(self, signed_log):
+        segment = signed_log.full_segment()
+        recovered = segment_from_bytes(segment_to_bytes(segment))
+        assert recovered.machine == segment.machine
+        assert recovered.start_hash == segment.start_hash
+        via_from_dict = [LogEntry.from_dict(entry.to_dict())
+                         for entry in segment.entries]
+        assert recovered.entries == via_from_dict
+        recovered.verify_hash_chain()
+
+    def test_unknown_wire_name_is_a_format_error(self, signed_log):
+        from repro.errors import LogFormatError
+        data = segment_to_bytes(signed_log.full_segment())
+        broken = data.replace(b'"type": "send"', b'"type": "bogus"', 1)
+        assert broken != data
+        with pytest.raises(LogFormatError, match="not a valid EntryType"):
+            segment_from_bytes(broken)
+
+    def test_bad_hex_is_a_format_error(self, signed_log):
+        from repro.errors import LogFormatError
+        data = segment_to_bytes(signed_log.full_segment())
+        broken = data.replace(b'"chain_hash": "', b'"chain_hash": "zz', 1)
+        with pytest.raises(LogFormatError, match="malformed log entry"):
+            segment_from_bytes(broken)
+
+
+class TestCodecMetrics:
+    def test_sync_materializations_folds_the_global_counter(self):
+        registry = MetricsRegistry()
+        metrics = CodecMetrics(Observability(metrics=registry))
+        wire = encode_content(SHAPED_CONTENTS[TAG_ACK])
+        for sequence in range(3):
+            entry = lazy_entry(sequence + 1, EntryType.ACK, wire,
+                               hashing.hash_bytes(b"c"),
+                               hashing.hash_bytes(b"p"))
+            _ = entry.content
+        assert metrics.sync_materializations() == 3
+        assert metrics.sync_materializations() == 0  # idempotent at rest
+        snapshot = registry.snapshot()
+        assert snapshot["codec.content_materializations_total"] == 3
+
+    def test_observe_decode_fills_the_nanosecond_histogram(self):
+        registry = MetricsRegistry()
+        metrics = CodecMetrics(Observability(metrics=registry))
+        metrics.observe_decode(wall_seconds=0.001, entry_count=1000)  # 1 us
+        histogram = registry.snapshot()["codec.decode_ns_per_entry"]
+        assert histogram["count"] == 1
+        assert histogram["sum"] == pytest.approx(1000.0)
+
+    def test_zero_entries_records_nothing(self):
+        registry = MetricsRegistry()
+        metrics = CodecMetrics(Observability(metrics=registry))
+        metrics.observe_decode(wall_seconds=0.5, entry_count=0)
+        assert registry.snapshot()["codec.decode_ns_per_entry"]["count"] == 0
+
+
+def test_module_counter_only_moves_forward():
+    before = content_materializations_total()
+    entries_module.count_materialization()
+    assert content_materializations_total() == before + 1
