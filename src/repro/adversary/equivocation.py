@@ -27,16 +27,17 @@ from repro.crypto import hashing
 from repro.log.authenticator import Authenticator, make_authenticator
 
 
-def _alternate_authenticators(ctx: ScenarioContext, rng, start_sequence: int,
-                              count: int) -> List[Authenticator]:
+def alternate_authenticators(log, keypair, rng, start_sequence: int,
+                             count: int) -> List[Authenticator]:
     """Validly signed commitments to an alternate chain branching at ``start``.
 
     Each authenticator is internally consistent (its chain hash really is
-    ``H(prev || seq || type || content-hash)``) and signed with the byzantine
-    machine's certified key — it differs from the genuine history only in the
-    content it commits to, which is exactly what equivocation means.
+    ``H(prev || seq || type || content-hash)``) and signed with the machine's
+    certified key — it differs from the genuine history only in the content
+    it commits to, which is exactly what equivocation means.  Exposed for
+    any harness that needs a forked-but-validly-signed view of a log (the
+    scenario matrix and the fleet-sharding experiments both do).
     """
-    log = ctx.monitor.log
     entry = log.entry_at(start_sequence)
     previous = entry.previous_hash
     forged: List[Authenticator] = []
@@ -49,11 +50,18 @@ def _alternate_authenticators(ctx: ScenarioContext, rng, start_sequence: int,
             previous, hashing.encode_int(sequence),
             entry_type.encode("utf-8"), content_hash)
         forged.append(make_authenticator(
-            ctx.keypair, sequence=sequence, chain_hash=chain,
+            keypair, sequence=sequence, chain_hash=chain,
             previous_hash=previous, entry_type=entry_type,
             content_hash=content_hash))
         previous = chain
     return forged
+
+
+def _alternate_authenticators(ctx: ScenarioContext, rng, start_sequence: int,
+                              count: int) -> List[Authenticator]:
+    """Scenario-context shim over :func:`alternate_authenticators`."""
+    return alternate_authenticators(ctx.monitor.log, ctx.keypair, rng,
+                                    start_sequence, count)
 
 
 class ForgedAuthenticatorAdversary(Adversary):

@@ -230,10 +230,24 @@ class AccountableVMM:
             elif isinstance(output, FrameOutput):
                 self.stats.frames_rendered = output.frame_number
 
+    def _allocate_message_id(self) -> str:
+        """Message id for an outgoing envelope.
+
+        Ids end up inside signed log entries, so they must be reproducible:
+        the network instance allocates them (per-instance counter), keeping
+        same-seed recordings byte-identical regardless of what else ran in
+        the process.  Without a network the envelope falls back to the
+        process-global counter in :mod:`repro.network.message`.
+        """
+        if self.network is None:
+            return ""
+        return self.network.allocate_message_id()
+
     def _send_guest_packet(self, packet: PacketOutput) -> None:
         """Log, sign and transmit a packet the guest produced."""
         message = NetworkMessage(source=self.identity, destination=packet.destination,
-                                 payload=packet.payload, kind=MessageKind.DATA)
+                                 payload=packet.payload, kind=MessageKind.DATA,
+                                 message_id=self._allocate_message_id())
         payload_hash = message.payload_hash()
 
         if self.config.tamper_evident:
@@ -334,6 +348,7 @@ class AccountableVMM:
         authenticator = self.log.authenticator_for(recv_entry)
         ack = NetworkMessage(source=self.identity, destination=message.source,
                              payload=b"", kind=MessageKind.ACK,
+                             message_id=self._allocate_message_id(),
                              authenticator=authenticator.to_dict(),
                              headers={"acked_message_id": message.message_id})
         if self.config.signs_packets and self.keypair is not None:
@@ -463,6 +478,21 @@ class AccountableVMM:
         return self._shipped_through
 
     @property
+    def archive_destination(self) -> Optional[str]:
+        """Current archive-shipper endpoint (``None`` when not attached)."""
+        return self._archive_destination
+
+    @property
+    def archive_ship_authenticators(self) -> bool:
+        """Whether the attached shipper also ships collected authenticators."""
+        return self._archive_ship_authenticators
+
+    @property
+    def archive_format_version(self) -> int:
+        """Wire format the attached shipper encodes segments with."""
+        return self._archive_format_version
+
+    @property
     def archive_shipping_complete(self) -> bool:
         """True when everything shippable has been accepted by the network.
 
@@ -515,7 +545,7 @@ class AccountableVMM:
         payload = get_codec(self._archive_format_version).encode_segment(segment)
         accepted = self.network.send(NetworkMessage(
             source=self.identity, destination=self._archive_destination,
-            payload=payload,
+            payload=payload, message_id=self._allocate_message_id(),
             kind=MessageKind.ARCHIVE_SEGMENT, headers=headers))
         if not accepted:
             # Dropped at send time (loss/partition): keep the shipping cursor
@@ -556,6 +586,7 @@ class AccountableVMM:
             accepted = self.network.send(NetworkMessage(
                 source=self.identity, destination=self._archive_destination,
                 payload=json.dumps(payload, sort_keys=True).encode("utf-8"),
+                message_id=self._allocate_message_id(),
                 kind=MessageKind.ARCHIVE_SNAPSHOT))
             if not accepted:
                 return False
@@ -577,6 +608,7 @@ class AccountableVMM:
             accepted = self.network.send(NetworkMessage(
                 source=self.identity, destination=self._archive_destination,
                 payload=authenticators_to_bytes(fresh),
+                message_id=self._allocate_message_id(),
                 kind=MessageKind.ARCHIVE_AUTHENTICATORS,
                 headers={"subject": peer}))
             if not accepted:

@@ -1,0 +1,223 @@
+"""Fleet-scale sharded audit: record → ship → ingest → stream-audit at N shards.
+
+The ROADMAP's fleet target, end to end: a fleet of server/client pairs
+records under ``avmm-rsa768``, every monitor ships its sealed segments,
+snapshots and collected peer authenticators to its consistent-hash home
+shard, and the :class:`~repro.service.fleet.FleetCoordinator` audits the
+whole fleet from the shard archives — merging verdicts, pooling gossiped
+authenticators, and convicting cross-shard equivocation.
+
+The experiment optionally injects the fleet-scale version of the
+equivocating-peer attack: one machine's validly-signed *alternate* chain
+(:func:`repro.adversary.equivocation.alternate_authenticators`) is shipped
+to a shard other than the one holding its genuine commitments.  No single
+shard ever sees a conflict; only the coordinator's gossip pool does — the
+conviction is cross-shard by construction.
+
+Scaling is reported on modelled audit cost (hardware-independent, like
+every perf claim in this reproduction): each machine's measured
+:class:`~repro.audit.verdict.AuditCost` total is placed onto rings of
+increasing shard count and the makespan (slowest shard) is compared with
+the serial single-shard cost.  ``benchmarks/bench_fleet_shard.py`` asserts
+the near-linear curve and writes ``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.equivocation import alternate_authenticators
+from repro.experiments.harness import format_table
+from repro.experiments.parallel_audit import build_fleet
+from repro.obs import Observability
+from repro.service.fleet import (FleetAuditOutcome, FleetCoordinator,
+                                 ShardScalePoint, modelled_shard_scaling)
+
+#: sequences the injected alternate chain covers (mirrors EquivocatingPeer)
+FORK_SPAN = 3
+
+
+@dataclass
+class FleetShardResult:
+    """One fleet-scale sharded run, summarised for the benchmark."""
+
+    num_machines: int
+    duration: float
+    shard_count: int
+    seed: int
+    record_wall_seconds: float = 0.0
+    audit_wall_seconds: float = 0.0
+    #: chain owners per shard after the run
+    per_shard_machines: Dict[str, int] = field(default_factory=dict)
+    per_shard_segments: Dict[str, int] = field(default_factory=dict)
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    convicted: List[str] = field(default_factory=list)
+    #: the machine whose alternate chain was injected ('' = none injected)
+    equivocator: str = ""
+    #: shard that received the alternate chain (never the genuine one's home)
+    equivocation_shard: str = ""
+    cross_shard_forks: List[str] = field(default_factory=list)
+    modelled_audit_seconds: float = 0.0
+    scaling: List[ShardScalePoint] = field(default_factory=list)
+
+    @property
+    def honest_convicted(self) -> List[str]:
+        """Convictions of machines other than the injected equivocator."""
+        return sorted(machine for machine in self.convicted
+                      if machine != self.equivocator)
+
+    @property
+    def honest_all_passed(self) -> bool:
+        return all(verdict == "pass"
+                   for machine, verdict in self.verdicts.items()
+                   if machine != self.equivocator)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_machines": self.num_machines,
+            "duration": self.duration,
+            "shard_count": self.shard_count,
+            "seed": self.seed,
+            "record_wall_seconds": self.record_wall_seconds,
+            "audit_wall_seconds": self.audit_wall_seconds,
+            "per_shard_machines": dict(sorted(self.per_shard_machines.items())),
+            "per_shard_segments": dict(sorted(self.per_shard_segments.items())),
+            "convicted": list(self.convicted),
+            "equivocator": self.equivocator,
+            "equivocation_shard": self.equivocation_shard,
+            "honest_convicted": self.honest_convicted,
+            "honest_all_passed": self.honest_all_passed,
+            "cross_shard_forks": list(self.cross_shard_forks),
+            "modelled_audit_seconds": self.modelled_audit_seconds,
+            "scaling": [point.to_dict() for point in self.scaling],
+        }
+
+
+def inject_cross_shard_equivocation(fleet, coordinator: FleetCoordinator,
+                                    machine: str, seed: int) -> str:
+    """Ship ``machine``'s validly-signed alternate chain to a foreign shard.
+
+    The genuine commitments about ``machine`` live wherever its collecting
+    peer ships them (the peer's home shard).  The alternate chain — same
+    sequences, same certified key, different content — is ingested by a
+    *different* shard, so no shard's local view ever conflicts; only the
+    coordinator's pooled gossip convicts.  Returns the receiving shard's
+    identity.
+    """
+    monitor = fleet.monitors[machine]
+    rng = random.Random(f"fleet-equivocation:{seed}")
+    # Anchor the fork at a sequence the genuine gossip actually covers:
+    # conviction needs a *pair* of commitments for one sequence, and the
+    # collecting peer only archived authenticators for the messages it
+    # received — a blind midpoint can fall between them on a long log.
+    gossip = coordinator.gossip_authenticators()
+    covered = sorted({auth.sequence
+                      for auth in coordinator.pool_gossip(gossip, machine)})
+    if covered:
+        start = covered[len(covered) // 2]
+    else:
+        start = max(1, len(monitor.log) // 2)
+    span = min(FORK_SPAN, len(monitor.log) - start + 1)
+    alternates = alternate_authenticators(
+        monitor.log, fleet.keypairs[machine], rng, start, span)
+    # The shard holding the genuine view is the collector's home, not the
+    # machine's own: peers ship the authenticators they collected.
+    genuine_home = coordinator.shard_for_machine(fleet.peers[machine]).identity
+    for shard in coordinator.shards:
+        if shard.identity != genuine_home:
+            shard.service.ingest_authenticators(machine, alternates)
+            return shard.identity
+    raise RuntimeError("need at least two shards to equivocate across")
+
+
+def run_fleet_shard(num_machines: int = 64, duration: float = 2.0,
+                    shard_count: int = 4, seed: int = 7,
+                    snapshot_interval: float = 0.5,
+                    workdir: Optional[Path] = None,
+                    scaling_shards: Sequence[int] = (1, 2, 4, 8),
+                    equivocate: bool = True,
+                    obs: Optional[Observability] = None) -> FleetShardResult:
+    """Record a fleet into ``shard_count`` shards, audit it, model scaling."""
+    import tempfile
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="fleet-shard-"))
+    workdir = Path(workdir)
+
+    coordinator = FleetCoordinator.build(workdir, shard_count, obs=obs)
+    result = FleetShardResult(num_machines=num_machines, duration=duration,
+                              shard_count=shard_count, seed=seed)
+
+    started = time.perf_counter()
+    fleet = build_fleet(num_machines=num_machines, duration=duration,
+                        seed=seed, snapshot_interval=snapshot_interval,
+                        coordinator=coordinator, obs=obs)
+    result.record_wall_seconds = time.perf_counter() - started
+
+    if equivocate and shard_count >= 2:
+        result.equivocator = fleet.machines[0]
+        result.equivocation_shard = inject_cross_shard_equivocation(
+            fleet, coordinator, result.equivocator, seed)
+
+    for shard in coordinator.shards:
+        result.per_shard_machines[shard.identity] = \
+            len(shard.archived_machines())
+        result.per_shard_segments[shard.identity] = \
+            shard.service.stats.segments_ingested
+
+    started = time.perf_counter()
+    outcome: FleetAuditOutcome = coordinator.audit_fleet(
+        lambda machine: fleet.make_auditor(machine, collect=False),
+        fleet.keystore)
+    result.audit_wall_seconds = time.perf_counter() - started
+
+    result.verdicts = {machine: outcome.verdict_for(machine)
+                       for machine in outcome.results}
+    result.convicted = sorted(outcome.convictions)
+    result.cross_shard_forks = list(outcome.cross_shard_forks)
+    per_machine = outcome.per_machine_cost_seconds()
+    result.modelled_audit_seconds = sum(per_machine.values())
+    result.scaling = modelled_shard_scaling(per_machine, scaling_shards)
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> FleetShardResult:
+    parser = argparse.ArgumentParser(
+        description="sharded fleet-scale audit experiment")
+    parser.add_argument("--machines", type=int, default=64)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--snapshot-interval", type=float, default=0.5)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the result as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    result = run_fleet_shard(num_machines=args.machines,
+                             duration=args.duration,
+                             shard_count=args.shards, seed=args.seed,
+                             snapshot_interval=args.snapshot_interval)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return result
+
+    print(f"Sharded fleet audit: {result.num_machines} machines, "
+          f"{result.shard_count} shards, {result.duration:.1f}s recorded")
+    rows = [(point.shards, f"{point.serial_seconds:.2f} s",
+             f"{point.makespan_seconds:.2f} s", f"{point.speedup:.2f}x",
+             f"{point.efficiency:.2f}") for point in result.scaling]
+    print(format_table(["shards", "serial", "makespan", "speedup",
+                        "efficiency"], rows))
+    print(f"\nequivocator {result.equivocator or '(none)'} convicted: "
+          f"{result.equivocator in result.convicted}; "
+          f"honest machines all passed: {result.honest_all_passed}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -248,8 +248,9 @@ def _run_overhead(duration: float, payload_bytes: int,
     for mode in ("off", "on"):
         obs = Observability.make() if mode == "on" else None
         archive_dir = workdir / mode / "archive"
-        # Message ids come from a process-global counter; reset it so both
-        # modes record byte-identical logs and the comparison is exact.
+        # Message ids are allocated per network instance, so each mode's
+        # fresh fleet starts from m0000000001 on its own; the reset shim
+        # stays for the fallback counter (direct NetworkMessage use).
         reset_message_ids()
         started = time.perf_counter()
         fleet = build_fleet(

@@ -33,6 +33,7 @@ from repro.errors import StoreError
 from repro.experiments.harness import build_trust, format_table
 from repro.network.simnet import SimulatedNetwork
 from repro.obs import NULL_OBS, Observability, ensure_obs
+from repro.service.fleet import FleetCoordinator
 from repro.service.ingest import DEFAULT_INGEST_IDENTITY, AuditIngestService
 from repro.sim.scheduler import Scheduler
 from repro.store.archive import LogArchive
@@ -55,6 +56,12 @@ class AuditFleet:
     scheduler: Optional[Scheduler] = None
     #: telemetry sink the fleet was recorded under; auditors inherit it
     obs: Observability = NULL_OBS
+    #: the sharded-ingest coordinator, when one was attached instead of a
+    #: single archive (see repro.service.fleet)
+    coordinator: Optional[FleetCoordinator] = None
+    #: per-identity signing keys (the fleet's trust setup); adversarial
+    #: harnesses use these to forge validly-signed alternate chains
+    keypairs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def machines(self) -> List[str]:
@@ -85,6 +92,7 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
                 ingest_identity: str = DEFAULT_INGEST_IDENTITY,
                 client_settings: Optional[SqlBenchSettings] = None,
                 ship_format_version: int = 1,
+                coordinator: Optional[FleetCoordinator] = None,
                 obs: Optional[Observability] = None) -> AuditFleet:
     """Record a fleet of ``num_machines`` (server+client pairs) for auditing.
 
@@ -99,7 +107,13 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
     grow without growing entry counts.  ``ship_format_version`` selects the
     wire codec the monitors ship segments in (:mod:`repro.log.codec`); the
     archive's own ``format_version`` independently controls the stored
-    format, so mixed ship/store configurations are expressible.  ``obs``
+    format, so mixed ship/store configurations are expressible.
+
+    With a ``coordinator`` (mutually exclusive with ``archive``), the fleet
+    records *sharded*: every shard's ingest endpoint joins the network and
+    each monitor ships to its consistent-hash home shard
+    (:meth:`~repro.service.fleet.FleetCoordinator.attach_fleet`) — the
+    fleet-scale topology of ``docs/fleet-sharding.md``.  ``obs``
     threads one telemetry sink (:mod:`repro.obs`) through every monitor, the
     ingest service, and the auditors the fleet later makes — observers only,
     it never changes what gets recorded or audited.
@@ -145,6 +159,9 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
             keypair=keypairs[client], keystore=keystore,
             clock_offset=0.0005 * index + 0.0002, obs=obs)
 
+    if archive is not None and coordinator is not None:
+        raise ValueError("pass either archive= (single service) or "
+                         "coordinator= (sharded fleet), not both")
     ingest: Optional[AuditIngestService] = None
     if archive is not None:
         ingest = AuditIngestService(archive, identity=ingest_identity,
@@ -152,17 +169,22 @@ def build_fleet(num_machines: int = 16, duration: float = 30.0, seed: int = 7,
         for monitor in monitors.values():
             monitor.attach_archive_shipper(
                 ingest_identity, format_version=ship_format_version)
+    elif coordinator is not None:
+        coordinator.connect(network)
+        coordinator.attach_fleet(monitors.values(),
+                                 format_version=ship_format_version)
 
     for monitor in monitors.values():
         monitor.start()
     scheduler.run_until(duration)
     for monitor in monitors.values():
         monitor.stop()
-    if ingest is not None:
+    if ingest is not None or coordinator is not None:
         drain_fleet_to_archive(scheduler, monitors)
     return AuditFleet(monitors=monitors, reference_images=reference_images,
                       keystore=keystore, peers=peers, ingest=ingest,
-                      scheduler=scheduler, obs=obs)
+                      scheduler=scheduler, obs=obs, coordinator=coordinator,
+                      keypairs=keypairs)
 
 
 def drain_fleet_to_archive(scheduler: Scheduler,

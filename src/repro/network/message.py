@@ -27,14 +27,16 @@ _message_counter = itertools.count(1)
 
 
 def reset_message_ids() -> None:
-    """Restart automatic message-id allocation from ``m0000000001``.
+    """Restart the *fallback* message-id counter (compatibility shim).
 
-    Message ids come from a process-global counter, so two fleets built in
-    the same process record *different* id strings (and therefore slightly
-    different log bytes) even with identical seeds.  Differential
-    experiments that must compare recorded runs byte-for-byte — e.g. the
-    telemetry on-vs-off proof — call this before each recording.  Never
-    call it mid-simulation: colliding ids would confuse ack matching.
+    Message ids are normally allocated per network instance
+    (:meth:`repro.network.simnet.SimulatedNetwork.allocate_message_id`), so
+    two fleets built in the same process record identical id strings with
+    identical seeds and nothing needs resetting.  The process-global counter
+    here only backs messages constructed without an explicit id outside any
+    network (unit tests, ad-hoc envelopes); this shim restarts it for
+    callers that predate per-network allocation.  Never call it
+    mid-simulation: colliding ids would confuse ack matching.
     """
     global _message_counter
     _message_counter = itertools.count(1)

@@ -9,6 +9,7 @@ parties and alive to others).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -66,6 +67,19 @@ class SimulatedNetwork:
         self._stats: Dict[str, NetworkStats] = {}
         self._delivery_log: List[Tuple[float, NetworkMessage]] = []
         self._tcp_endpoints: Set[str] = set()
+        self._message_counter = itertools.count(1)
+
+    def allocate_message_id(self) -> str:
+        """Next message id on *this* network instance.
+
+        Ids are logged (and signed) inside SEND/ACK entries, so they are part
+        of the recorded bytes.  Scoping the counter to the network instance
+        makes same-seed recordings byte-identical regardless of what other
+        fleets ran earlier in the process — the process-global fallback in
+        :mod:`repro.network.message` only serves envelopes constructed
+        outside any network.
+        """
+        return f"m{next(self._message_counter):010d}"
 
     # -- topology -------------------------------------------------------------
 

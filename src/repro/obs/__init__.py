@@ -25,7 +25,7 @@ from repro.obs.progress import (AuditProgress, MachineProgress,
 from repro.obs.registry import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
                                 MetricsRegistry, NANOSECOND_BUCKETS,
                                 NULL_COUNTER, NULL_GAUGE,
-                                NULL_HISTOGRAM, NULL_REGISTRY)
+                                NULL_HISTOGRAM, NULL_REGISTRY, ScopedMetrics)
 from repro.obs.trace import (NULL_TRACER, NullTracer, SIM, Span, Tracer,
                              WALL, WallTimer, validate_chrome_trace)
 
@@ -35,7 +35,7 @@ __all__ = [
     "NULL_COUNTER", "NULL_GAUGE",
     "NULL_HISTOGRAM", "NULL_OBS", "NULL_PROGRESS", "NULL_REGISTRY",
     "NULL_TRACER", "NullAuditProgress", "NullTracer", "Observability",
-    "SIM", "Span", "Tracer", "WALL", "WallTimer", "ensure_obs",
+    "SIM", "ScopedMetrics", "Span", "Tracer", "WALL", "WallTimer", "ensure_obs",
     "peak_rss_bytes", "validate_chrome_trace",
 ]
 

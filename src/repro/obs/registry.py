@@ -203,6 +203,15 @@ class MetricsRegistry:
                             f"{type(instrument).__name__}, not {cls.__name__}")
         return instrument
 
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        """A view of this registry that prefixes every instrument name.
+
+        ``registry.scoped("ingest.shard-00.")`` lets multiple instances of
+        one component share a registry without clobbering each other's
+        instruments.  An empty prefix is a transparent passthrough.
+        """
+        return ScopedMetrics(self, prefix)
+
     def counter(self, name: str) -> Counter:
         return self._make(name, Counter, NULL_COUNTER)
 
@@ -237,6 +246,45 @@ class MetricsRegistry:
             else:
                 out[name] = instrument.value
         return out
+
+
+class ScopedMetrics:
+    """A registry view that prefixes every instrument name.
+
+    Components that can be instantiated more than once against one shared
+    :class:`MetricsRegistry` (e.g. per-shard
+    :class:`~repro.service.ingest.AuditIngestService` instances) bind their
+    instruments through a scope so they cannot clobber each other via the
+    name cache.  The scope is a thin naming shim: instruments live in (and
+    appear in :meth:`MetricsRegistry.snapshot` under) the parent registry
+    with their fully-qualified names.
+    """
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(self.prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(self.prefix + name)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self.registry.histogram(self.prefix + name, bounds=bounds)
+
+    def get(self, name: str) -> Optional[object]:
+        return self.registry.get(self.prefix + name)
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        return self.registry.value(self.prefix + name, default)
 
 
 #: the shared disabled registry — the default everywhere telemetry is optional

@@ -1,0 +1,392 @@
+"""The fleet coordination plane over sharded audit ingest.
+
+:class:`FleetCoordinator` owns what no single shard can decide alone:
+
+* **Placement** — a :class:`~repro.service.shard.ShardRing` maps every
+  machine to its home shard, with an override table for machines moved by
+  :meth:`rebalance` mid-run.
+* **Verdict merge** — each shard audits the machines whose chains it holds
+  (quarantined shipments become SUSPECTED verdicts, exactly as the
+  single-service pipeline decides them); the coordinator merges the
+  per-shard results into one :class:`FleetAuditOutcome`.
+* **Cross-shard equivocation conviction** — shards gossip their archived
+  authenticators in serialized wire form
+  (:meth:`~repro.service.shard.AuditShard.export_authenticator_gossip`);
+  the coordinator decodes the bytes *itself*, pools them per issuer, and
+  runs :func:`~repro.audit.multiparty.find_equivocation`, so a machine that
+  ships chain ``h`` to one shard and ``h'`` to another is convicted from
+  two signed authenticators alone.  The resulting
+  :class:`~repro.audit.multiparty.EquivocationProof` is round-tripped
+  through its wire form and re-verified against the coordinator's own
+  keystore — zero trust in the reporting shard: a Byzantine shard can
+  *withhold* evidence, but can neither fabricate a conviction nor launder
+  a false one.
+
+The modelled-cost scaling story lives in :func:`modelled_shard_scaling`:
+real per-machine :class:`~repro.audit.verdict.AuditCost` totals are placed
+onto rings of increasing shard count, and the fleet audit makespan (the
+slowest shard's serial sum) is compared against the one-shard serial cost —
+the near-linear curve ``benchmarks/bench_fleet_shard.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.audit.auditor import Auditor
+from repro.audit.multiparty import EquivocationProof, find_equivocation
+from repro.audit.verdict import AuditCost, AuditResult, Verdict
+from repro.crypto.keys import KeyStore
+from repro.errors import StoreError
+from repro.log.authenticator import Authenticator
+from repro.log.storage import authenticators_from_bytes
+from repro.network.simnet import SimulatedNetwork
+from repro.obs import Observability, ensure_obs
+from repro.service.shard import (AuditShard, DEFAULT_RING_REPLICAS,
+                                 HandoffReport, ShardRing, migrate_machine)
+
+DEFAULT_SHARD_PREFIX = "audit-shard"
+
+
+@dataclass
+class FleetAuditOutcome:
+    """The merged result of one fleet-wide audit pass."""
+
+    #: per-machine audit results, merged across shards
+    results: Dict[str, AuditResult] = field(default_factory=dict)
+    #: which shard produced each machine's verdict
+    shard_of: Dict[str, str] = field(default_factory=dict)
+    #: machines convicted of equivocation, with the (re-verified) proof
+    convictions: Dict[str, EquivocationProof] = field(default_factory=dict)
+    #: machines whose chains appear on more than one shard with diverging
+    #: hashes — a placement-integrity alarm (detection, not conviction)
+    cross_shard_forks: List[str] = field(default_factory=list)
+    #: per-machine quarantined-shipment counts observed at the shards
+    quarantined: Dict[str, int] = field(default_factory=dict)
+
+    def faulty_machines(self) -> List[str]:
+        """Machines with a non-PASS verdict or an equivocation conviction."""
+        names = {machine for machine, result in self.results.items()
+                 if result.verdict is not Verdict.PASS}
+        names.update(self.convictions)
+        return sorted(names)
+
+    def verdict_for(self, machine: str) -> str:
+        """The merged verdict string: a conviction trumps any audit result."""
+        if machine in self.convictions:
+            return "convicted"
+        result = self.results.get(machine)
+        return result.verdict.value if result is not None else "unknown"
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.faulty_machines()
+
+    def total_cost(self) -> AuditCost:
+        return AuditCost.total(result.cost for result in self.results.values())
+
+    def per_machine_cost_seconds(self) -> Dict[str, float]:
+        return {machine: result.cost.total_seconds
+                for machine, result in self.results.items()}
+
+
+class FleetCoordinator:
+    """Places machines on shards, merges verdicts, convicts across shards."""
+
+    def __init__(self, shards: Sequence[AuditShard],
+                 replicas: int = DEFAULT_RING_REPLICAS,
+                 obs: Optional[Observability] = None) -> None:
+        if not shards:
+            raise StoreError("a fleet needs at least one shard")
+        self.shards: List[AuditShard] = sorted(shards,
+                                               key=lambda s: s.identity)
+        self._by_identity = {shard.identity: shard for shard in self.shards}
+        if len(self._by_identity) != len(self.shards):
+            raise StoreError("shard identities must be unique")
+        self.ring = ShardRing((shard.identity for shard in self.shards),
+                              replicas=replicas)
+        #: machines explicitly moved off their ring shard by rebalance()
+        self._placement_overrides: Dict[str, str] = {}
+        self.obs = ensure_obs(obs)
+        metrics = self.obs.metrics.scoped("fleet.")
+        self._m_shards = metrics.gauge("shards")
+        self._m_shards.set(len(self.shards))
+        self._m_audited = metrics.counter("machines_audited_total")
+        self._m_convicted = metrics.counter("equivocations_convicted_total")
+        self._m_migrations = metrics.counter("migrations_total")
+        self._m_forks = metrics.counter("cross_shard_forks_total")
+
+    @classmethod
+    def build(cls, root: Union[str, Path], shard_count: int,
+              network: Optional[SimulatedNetwork] = None,
+              format_version: int = 1,
+              identity_prefix: str = DEFAULT_SHARD_PREFIX,
+              replicas: int = DEFAULT_RING_REPLICAS,
+              obs: Optional[Observability] = None) -> "FleetCoordinator":
+        """A coordinator over ``shard_count`` fresh shards under ``root``."""
+        if shard_count < 1:
+            raise StoreError(f"shard_count must be >= 1, got {shard_count}")
+        root = Path(root)
+        shards = [
+            AuditShard.create(f"{identity_prefix}-{index:02d}",
+                              root / f"{identity_prefix}-{index:02d}",
+                              network=network, format_version=format_version,
+                              obs=obs)
+            for index in range(shard_count)]
+        return cls(shards, replicas=replicas, obs=obs)
+
+    # -- placement -----------------------------------------------------------
+
+    def shard(self, identity: str) -> AuditShard:
+        shard = self._by_identity.get(identity)
+        if shard is None:
+            raise StoreError(f"no shard {identity!r} in this fleet")
+        return shard
+
+    def shard_for_machine(self, machine: str) -> AuditShard:
+        """The machine's home shard: override table first, then the ring."""
+        override = self._placement_overrides.get(machine)
+        if override is not None:
+            return self.shard(override)
+        return self.shard(self.ring.shard_for(machine))
+
+    def connect(self, network: SimulatedNetwork) -> None:
+        """Register every shard's ingest endpoint on ``network``."""
+        for shard in self.shards:
+            shard.service.connect(network)
+
+    def attach_fleet(self, monitors: Iterable, format_version: int = 1,
+                     ship_authenticators: bool = True) -> None:
+        """Point each monitor's archive shipper at its home shard."""
+        for monitor in monitors:
+            destination = self.shard_for_machine(monitor.identity).identity
+            monitor.attach_archive_shipper(
+                destination, ship_authenticators=ship_authenticators,
+                format_version=format_version)
+
+    def machines(self) -> List[str]:
+        """Every machine any shard must produce a verdict for, sorted."""
+        names = set()
+        for shard in self.shards:
+            names.update(shard.auditable_machines())
+        return sorted(names)
+
+    # -- cross-shard gossip --------------------------------------------------
+
+    def gossip_authenticators(self) -> Dict[str, Dict[str, bytes]]:
+        """Every shard's serialized authenticator export, by shard id."""
+        return {shard.identity: shard.export_authenticator_gossip()
+                for shard in self.shards}
+
+    @staticmethod
+    def pool_gossip(gossip: Dict[str, Dict[str, bytes]],
+                    machine: str) -> List[Authenticator]:
+        """Decode and pool one issuer's authenticators across all shards.
+
+        The coordinator parses the wire bytes itself (shard-id order, each
+        shard's batches in shipment order); malformed gossip from a shard
+        is a protocol error and raises, it is never silently trusted.
+        """
+        pooled: List[Authenticator] = []
+        for shard_id in sorted(gossip):
+            wire = gossip[shard_id].get(machine)
+            if wire:
+                pooled.extend(authenticators_from_bytes(wire))
+        return pooled
+
+    def equivocation_sweep(self, keystore: KeyStore,
+                           gossip: Optional[Dict[str, Dict[str, bytes]]] = None
+                           ) -> Dict[str, EquivocationProof]:
+        """Convict forked machines from gossiped authenticators alone.
+
+        For every issuer in the pooled gossip, scan for two validly signed
+        commitments to the same sequence with different chain hashes.  Each
+        proof found is serialized (:meth:`EquivocationProof.to_dict`),
+        decoded back, and re-verified against ``keystore`` — the exact
+        round trip a third party performs — before it counts.
+        """
+        gossip = gossip if gossip is not None else self.gossip_authenticators()
+        issuers = sorted({machine for per_shard in gossip.values()
+                          for machine in per_shard})
+        convictions: Dict[str, EquivocationProof] = {}
+        for machine in issuers:
+            proof = find_equivocation(self.pool_gossip(gossip, machine),
+                                      keystore)
+            if proof is None:
+                continue
+            wire = json.dumps(proof.to_dict(), sort_keys=True)
+            received = EquivocationProof.from_dict(json.loads(wire))
+            if received.verify(keystore):
+                convictions[machine] = received
+                self._m_convicted.inc()
+        return convictions
+
+    def cross_shard_chain_check(self) -> List[str]:
+        """Machines whose archived chains diverge between shards.
+
+        A machine's chain is supposed to live on exactly one shard; finding
+        segments for it on two shards is a placement anomaly, and if the
+        chains disagree at a shared sequence number the machine (or a
+        shard) is forking history.  This check *detects* — conviction still
+        comes from the signed authenticators via
+        :meth:`equivocation_sweep`, which needs no trust in any shard.
+        """
+        holders: Dict[str, List[AuditShard]] = {}
+        for shard in self.shards:
+            for machine in shard.archived_machines():
+                holders.setdefault(machine, []).append(shard)
+        forked: List[str] = []
+        for machine in sorted(holders):
+            shards = holders[machine]
+            if len(shards) < 2:
+                continue
+            for first, second in zip(shards, shards[1:]):
+                sequence = min(first.archive.head_checkpoint(machine).sequence,
+                               second.archive.head_checkpoint(machine).sequence)
+                start = max(first.archive.start_checkpoint(machine).sequence,
+                            second.archive.start_checkpoint(machine).sequence)
+                if sequence <= start:
+                    continue  # no overlapping archived range to compare
+                first_hash = first.archive.read_range(
+                    machine, sequence, sequence).entries[-1].chain_hash
+                second_hash = second.archive.read_range(
+                    machine, sequence, sequence).entries[-1].chain_hash
+                if first_hash != second_hash:
+                    forked.append(machine)
+                    self._m_forks.inc()
+                    break
+        return forked
+
+    # -- the merged audit ----------------------------------------------------
+
+    def audit_fleet(self, make_auditor: Callable[[str], Auditor],
+                    keystore: KeyStore) -> FleetAuditOutcome:
+        """Audit every shard's machines and merge the verdicts.
+
+        Per machine, the deciding shard follows the single-service pipeline
+        exactly — pooled authenticators handed to the auditor, quarantined
+        machines suspected, everything else streamed from the archive — so
+        a fleet audited through N shards is structurally identical to one
+        audited through a single service.  The only cross-shard ingredient
+        is the authenticator pool, which comes from gossip (decoded and
+        checked here), plus the equivocation sweep and chain check.
+        """
+        outcome = FleetAuditOutcome()
+        gossip = self.gossip_authenticators()
+        for shard in self.shards:
+            for machine in shard.auditable_machines():
+                if machine in outcome.results:
+                    # Chain present on two shards: first (sorted) shard
+                    # decides; the anomaly itself is reported by the chain
+                    # check below.
+                    continue
+                auditor = make_auditor(machine)
+                auditor.collect_authenticators(
+                    machine, self.pool_gossip(gossip, machine))
+                quarantined = shard.service.quarantine_for(machine)
+                if quarantined:
+                    result = auditor.suspect(
+                        machine,
+                        reason=f"archive quarantined {len(quarantined)} "
+                               f"shipment(s): {quarantined[0].reason}")
+                    outcome.quarantined[machine] = len(quarantined)
+                else:
+                    result = shard.service.audit_machine(
+                        auditor, machine, collect=False)
+                outcome.results[machine] = result
+                outcome.shard_of[machine] = shard.identity
+                self._m_audited.inc()
+        outcome.convictions = self.equivocation_sweep(keystore, gossip)
+        outcome.cross_shard_forks = self.cross_shard_chain_check()
+        return outcome
+
+    # -- rebalancing ---------------------------------------------------------
+
+    def rebalance(self, machine: str, destination: str,
+                  monitor=None) -> HandoffReport:
+        """Move a machine's chain to another shard and repoint its shipper.
+
+        The caller quiesces in-flight shipments first (run the scheduler
+        until the machine's traffic settles).  After the archive handoff,
+        the machine's placement override makes every later placement lookup
+        return the new shard, and — when the live ``monitor`` is supplied —
+        its shipper is re-attached to the destination with its settings
+        preserved.  Re-attaching resets the snapshot-ship anchor, so the
+        next snapshot ships as a full keyframe: the destination can anchor
+        replays without ever having seen the machine's earlier deltas.
+        """
+        source = self.shard_for_machine(machine)
+        target = self.shard(destination)
+        report = migrate_machine(machine, source, target)
+        self._placement_overrides[machine] = target.identity
+        self._m_migrations.inc()
+        if monitor is not None:
+            monitor.attach_archive_shipper(
+                target.identity,
+                ship_authenticators=monitor.archive_ship_authenticators,
+                format_version=monitor.archive_format_version)
+        return report
+
+
+# -- modelled scaling --------------------------------------------------------
+
+@dataclass
+class ShardScalePoint:
+    """Modelled fleet-audit cost at one shard count."""
+
+    shards: int
+    serial_seconds: float        # one shard audits everything, in sequence
+    makespan_seconds: float      # slowest shard under consistent-hash placement
+    max_shard_machines: int
+
+    @property
+    def speedup(self) -> float:
+        return (self.serial_seconds / self.makespan_seconds
+                if self.makespan_seconds > 0 else 1.0)
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.shards if self.shards else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"shards": self.shards,
+                "serial_seconds": self.serial_seconds,
+                "makespan_seconds": self.makespan_seconds,
+                "max_shard_machines": self.max_shard_machines,
+                "speedup": self.speedup,
+                "efficiency": self.efficiency}
+
+
+def modelled_shard_scaling(per_machine_seconds: Dict[str, float],
+                           shard_counts: Sequence[int],
+                           replicas: int = DEFAULT_RING_REPLICAS,
+                           identity_prefix: str = DEFAULT_SHARD_PREFIX
+                           ) -> List[ShardScalePoint]:
+    """Modelled audit cost of the same fleet at several shard counts.
+
+    Places every machine onto a consistent-hash ring of each size and sums
+    its *measured* modelled audit cost per shard; the makespan is the
+    slowest shard (shards audit in parallel, each serially).  This is the
+    honest version of the scaling claim: it inherits whatever imbalance the
+    real placement function produces instead of assuming perfect spread.
+    """
+    serial = sum(per_machine_seconds.values())
+    points: List[ShardScalePoint] = []
+    for count in shard_counts:
+        ring = ShardRing((f"{identity_prefix}-{index:02d}"
+                          for index in range(count)), replicas=replicas)
+        loads: Dict[str, float] = {sid: 0.0 for sid in ring.shard_ids()}
+        machines: Dict[str, int] = {sid: 0 for sid in ring.shard_ids()}
+        for machine, seconds in per_machine_seconds.items():
+            shard_id = ring.shard_for(machine)
+            loads[shard_id] += seconds
+            machines[shard_id] += 1
+        points.append(ShardScalePoint(
+            shards=count,
+            serial_seconds=serial,
+            makespan_seconds=max(loads.values()) if loads else 0.0,
+            max_shard_machines=max(machines.values()) if machines else 0))
+    return points

@@ -106,18 +106,35 @@ class AuditIngestService:
         if self.obs.enabled and not archive.obs.enabled:
             # An observed service observes its archive's disk traffic too.
             archive.set_observability(self.obs)
-        metrics = self.obs.metrics
-        self._m_messages = metrics.counter("ingest.messages_total")
-        self._m_segments = metrics.counter("ingest.segments_ingested_total")
-        self._m_quarantined = metrics.counter("ingest.quarantined_total")
-        self._m_queue_depth = metrics.gauge("ingest.queue_depth")
-        self._m_decode = metrics.histogram("ingest.decode_seconds")
+        # Instruments are namespaced per service identity so that several
+        # services (fleet shards) sharing one MetricsRegistry cannot clobber
+        # each other through the name cache.  The default single-service
+        # identity keeps the historical bare names (``ingest.queue_depth``
+        # etc.) so existing dashboards/tests keep working.
+        prefix = ("ingest." if identity == DEFAULT_INGEST_IDENTITY
+                  else f"ingest.{identity}.")
+        metrics = self.obs.metrics.scoped(prefix)
+        self._m_messages = metrics.counter("messages_total")
+        self._m_segments = metrics.counter("segments_ingested_total")
+        self._m_quarantined = metrics.counter("quarantined_total")
+        self._m_queue_depth = metrics.gauge("queue_depth")
+        self._m_decode = metrics.histogram("decode_seconds")
         self._quarantine_path = Path(archive.root) / "quarantine.jsonl"
         self.quarantine: List[QuarantinedShipment] = self._load_quarantine()
         #: machines with archived-but-unaudited segments, with segment counts
         self._pending: Dict[str, int] = {}
         if network is not None:
             network.register(identity, self.on_message)
+
+    def connect(self, network: SimulatedNetwork) -> None:
+        """Register this service's endpoint on ``network`` after the fact.
+
+        Lets a fleet of shards be constructed before the simulated network
+        exists (e.g. :meth:`repro.service.fleet.FleetCoordinator.build`) and
+        wired up when the experiment assembles its topology.
+        """
+        self.network = network
+        network.register(self.identity, self.on_message)
 
     # -- network ingestion ---------------------------------------------------
 
@@ -320,6 +337,23 @@ class AuditIngestService:
     def pending_segments(self, machine: str) -> int:
         return self._pending.get(machine, 0)
 
+    def enqueue_pending(self, machine: str, segments: int = 1) -> None:
+        """Mark ``machine`` as having unaudited archived segments.
+
+        Used by shard handoff: segments migrated into this shard's archive
+        arrive through :meth:`repro.store.archive.LogArchive.append_segment`
+        directly (raising on any chain break rather than quarantining), so
+        the audit queue is updated explicitly.
+        """
+        if segments > 0:
+            self._pending[machine] = self._pending.get(machine, 0) + segments
+            self._update_queue_depth()
+
+    def drop_pending(self, machine: str) -> None:
+        """Remove ``machine`` from the audit queue (it left this shard)."""
+        self._pending.pop(machine, None)
+        self._update_queue_depth()
+
     def target_for(self, machine: str) -> ArchiveBackedMachine:
         """An audit target serving ``machine``'s log from the archive."""
         return ArchiveBackedMachine(self.archive, machine)
@@ -329,10 +363,14 @@ class AuditIngestService:
         return auditor.collect_authenticators(
             machine, self.archive.authenticators_for(machine))
 
-    def audit_machine(self, auditor: Auditor, machine: str) -> AuditResult:
+    def audit_machine(self, auditor: Auditor, machine: str,
+                      collect: bool = True) -> AuditResult:
         """Audit one machine straight from the archive.
 
-        The auditor first collects the machine's archived authenticators.
+        The auditor first collects the machine's archived authenticators
+        (pass ``collect=False`` when the caller already pooled
+        authenticators from elsewhere — e.g. the fleet coordinator's
+        cross-shard gossip — to avoid collecting them twice).
         A serial auditor streams the archived log chunk by chunk in
         O(chunk) memory (:mod:`repro.audit.stream`); an engine-backed
         auditor runs chunk-parallel with the jobs planned straight off the
@@ -342,7 +380,8 @@ class AuditIngestService:
         like a spot-check chunk.  Either way the machine leaves the pending
         queue.
         """
-        self.prepare_auditor(auditor, machine)
+        if collect:
+            self.prepare_auditor(auditor, machine)
         result = auditor.audit(self.target_for(machine))
         self._pending.pop(machine, None)
         self._update_queue_depth()

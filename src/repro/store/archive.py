@@ -950,6 +950,123 @@ class LogArchive:
                 f"hash-tree verification")
         return snapshot.state, self.snapshot_transfer_bytes(machine, boundary_id)
 
+    # -- shard handoff -------------------------------------------------------
+
+    def copy_snapshots_to(self, destination: "LogArchive",
+                          machine: str) -> int:
+        """Copy ``machine``'s archived snapshots into another archive.
+
+        Preserves keyframe/delta structure, transfer costs and execution
+        timestamps (ascending id order, so every delta's base precedes it).
+        Snapshots the destination already holds are skipped — the store
+        methods deduplicate by id — which makes an interrupted shard
+        handoff safely resumable.  Returns the number of snapshots copied.
+        """
+        copied = 0
+        already = set(destination._snapshot_index.get(machine, {}))
+        snaps = self._snapshot_index.get(machine, {})
+        for snapshot_id in sorted(snaps):
+            if snapshot_id in already:
+                continue
+            snap = snaps[snapshot_id]
+            if snap.kind == "keyframe":
+                snapshot = self.load_snapshot(machine, snapshot_id)
+                destination.store_snapshot(
+                    machine, snapshot_id, snapshot.state,
+                    snap.state_root, snap.transfer_bytes,
+                    execution=dict(snap.execution),
+                    page_size=snap.page_size or PAGE_SIZE,
+                    page_count=snap.page_count or None)
+            else:
+                delta = self._read_delta(snap)
+                destination.store_snapshot_delta(
+                    machine, snapshot_id, delta.base_snapshot_id,
+                    delta.changed_pages, delta.page_count,
+                    snap.state_root, snap.transfer_bytes,
+                    execution=dict(snap.execution),
+                    page_size=snap.page_size or PAGE_SIZE)
+            copied += 1
+        return copied
+
+    def adopt_retention_checkpoint(self, machine: str,
+                                   checkpoint: ChainCheckpoint) -> None:
+        """Install another archive's retention anchor for ``machine``.
+
+        The first step of a shard handoff: a truncated source archive's
+        earliest segment extends its retention checkpoint, not genesis, so
+        the destination must adopt the anchor *before* any segment arrives.
+        Idempotent when the same checkpoint is already installed (an
+        interrupted handoff simply re-runs); any *conflicting* anchor, or an
+        adoption attempted after segments exist, is refused
+        (:class:`RetentionError`) — silently moving the anchor would fork
+        the archived chain.
+        """
+        current = self._manifest.retained.get(machine)
+        if current is not None:
+            if current.sequence == checkpoint.sequence \
+                    and current.chain_hash == checkpoint.chain_hash:
+                return  # handoff resume: already adopted
+            raise RetentionError(
+                f"cannot adopt retention checkpoint {checkpoint.sequence} for "
+                f"{machine!r}: a different anchor (sequence "
+                f"{current.sequence}) is already installed")
+        if self._index.get(machine):
+            raise RetentionError(
+                f"cannot adopt a retention checkpoint for {machine!r}: "
+                f"segments are already archived here")
+        self._manifest.retained[machine] = checkpoint
+        self._manifest.write(self.root)
+
+    def forget_machine(self, machine: str,
+                       keep_authenticators: bool = True) -> int:
+        """Release ``machine``'s archived chain (the source side of a handoff).
+
+        Removes the machine's segments, snapshots and retention anchor after
+        they have been migrated to another shard's archive; returns the
+        number of data files deleted.  Authenticator batches *about* the
+        machine are kept by default — they are evidence collected from this
+        shard's own reporters, stay valid wherever the machine's chain
+        lives, and the fleet coordinator pools them across shards; pass
+        ``keep_authenticators=False`` to drop them too.  The manifest is
+        committed before any file is unlinked, so a crash mid-delete leaves
+        orphan files for the next open's sweep, never a half-indexed
+        archive.
+        """
+        records = self._index.pop(machine, [])
+        snaps = self._snapshot_index.pop(machine, {})
+        batches: List[AuthBatchRecord] = []
+        if not keep_authenticators:
+            batches = self._auth_index.pop(machine, [])
+            self._auth_counters.pop(machine, None)
+        had_retained = machine in self._manifest.retained
+        if not (records or snaps or batches or had_retained):
+            return 0
+        self._manifest.segments = [record for record in self._manifest.segments
+                                   if record.machine != machine]
+        self._manifest.snapshots = [snap for snap in self._manifest.snapshots
+                                    if snap.machine != machine]
+        if not keep_authenticators:
+            self._manifest.auth_batches = [
+                batch for batch in self._manifest.auth_batches
+                if batch.machine != machine]
+        self._manifest.retained.pop(machine, None)
+        self._manifest.write(self.root)
+        removed = 0
+        for file_name in ([record.file_name for record in records]
+                          + [snap.file_name for snap in snaps.values()]
+                          + [batch.file_name for batch in batches]):
+            (self.root / file_name).unlink(missing_ok=True)
+            removed += 1
+        for snap in snaps.values():
+            self._keyframe_page_cache.pop(snap.file_name, None)
+            self._delta_cache.pop(snap.file_name, None)
+        for batch in batches:
+            self._auth_batch_cache.pop(batch.file_name, None)
+        self._snapshot_pages_cache = {
+            key: value for key, value in self._snapshot_pages_cache.items()
+            if key[0] != machine}
+        return removed
+
     # -- retention / GC ------------------------------------------------------
 
     def truncate(self, machine: str, up_to_sequence: int) -> ChainCheckpoint:
