@@ -1,0 +1,80 @@
+"""Accountable web service under open-loop load: cost and conviction.
+
+Runs :mod:`repro.experiments.webload` — the routed HTTP-style service with a
+TTL response cache and recorded upstream-call nondeterminism, driven by a
+seeded heavy-tailed user population — and asserts the workload's contract:
+
+* the same open-loop request plan completes identically with accountability
+  on (``avmm-rsa768``) and off (``bare-hw``); accountability costs latency,
+  never answers;
+* tail percentiles are ordered (p50 ≤ p95 ≤ p99 ≤ p999) in both modes;
+* the accountable run's archive passes the full record → ship → ingest →
+  stream-audit pipeline for server and client;
+* the stale-cache cheat image is convicted with independently verified
+  evidence, and no honest machine is ever accused.
+
+Full scale is the ISSUE's 100,000 simulated users (~120k requests); smoke
+scale keeps the same shape at 300 users.  Emits ``BENCH_webload.json``
+(repo root); the checked-in copy is from a full-scale run and CI uploads
+the smoke-scale one as an artifact.
+"""
+
+import json
+from pathlib import Path
+
+from _bench_utils import scaled, smoke_mode
+
+from repro.experiments.webload import LoadModel, run_webload
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_webload.json"
+
+
+def test_webload_accountable_service(benchmark, repro_duration, tmp_path):
+    users = scaled(100_000, 300)
+    model = LoadModel(users=users, seed=42,
+                      arrival_rate=scaled(2000.0, 600.0),
+                      session_alpha=3.0)
+    result = benchmark.pedantic(
+        run_webload,
+        kwargs={"model": model,
+                "snapshot_interval": scaled(5.0, None),
+                "root": str(tmp_path)},
+        rounds=1, iterations=1)
+
+    print()
+    print(f"webload: {result.users:,} users, {result.total_requests:,} "
+          f"requests (open loop)")
+    for point in result.points:
+        print(f"  {point.configuration}: {point.throughput_rps:,.0f} rps, "
+              f"p50 {point.rtt.p50 * 1000:.3f} ms, "
+              f"p95 {point.rtt.p95 * 1000:.3f} ms, "
+              f"p99 {point.rtt.p99 * 1000:.3f} ms, "
+              f"p999 {point.rtt.p999 * 1000:.3f} ms; "
+              f"record wall {point.record_wall_seconds:.1f} s")
+    for outcome in result.honest_audits:
+        print(f"  honest audit {outcome.machine}: {outcome.verdict} "
+              f"({outcome.chunks} chunks, {outcome.entries:,} entries)")
+    for outcome in result.cheat_audits:
+        print(f"  cheat audit {outcome.machine}: {outcome.verdict}")
+    print(f"  cheat detected: {result.cheat_detected}, "
+          f"false accusations: {result.false_accusations}")
+
+    payload = {"webload": result.to_dict(),
+               "mode": "smoke" if smoke_mode() else "full"}
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH.name}")
+
+    bare = result.point("bare-hw")
+    avmm = result.point("avmm-rsa768")
+    # Accountability must not change what the service answered.
+    assert result.statuses_identical
+    assert bare.responses_received == avmm.responses_received \
+        == result.total_requests
+    # ...only what it costs: signing shows up in every percentile.
+    assert avmm.rtt.p50 > bare.rtt.p50
+    for rtt in (bare.rtt, avmm.rtt):
+        assert rtt.p50 <= rtt.p95 <= rtt.p99 <= rtt.p999
+    # The audit story, end to end.
+    assert result.honest_pass, result.honest_audits
+    assert result.cheat_detected, result.cheat_audits
+    assert result.false_accusations == 0

@@ -48,7 +48,8 @@ from repro.sim.scheduler import Scheduler
 from repro.vm.events import GuestEvent, KeyboardInput, PacketDelivery, TimerInterrupt
 from repro.vm.guest import FrameOutput, Output, PacketOutput
 from repro.vm.image import VMImage
-from repro.vm.machine import LiveNondeterminismSource, VirtualMachine
+from repro.vm.machine import (LiveNondeterminismSource, UpstreamBackend,
+                              UpstreamResponse, VirtualMachine)
 from repro.vm.snapshot import SnapshotManager
 
 _monitor_ids = itertools.count(1)
@@ -103,6 +104,7 @@ class AccountableVMM:
                                     drift=clock_drift)
         self.vm = VirtualMachine(image, LiveNondeterminismSource(self.host_clock.read))
         self.vm.set_clock_read_hook(self._on_clock_read)
+        self.vm.set_upstream_call_hook(self._on_upstream_call)
 
         log_keypair = keypair if config.signs_packets else None
         # A bound method, not a lambda: the log must survive pickling on the
@@ -188,6 +190,29 @@ class AccountableVMM:
             self.recorder.record_clock_read(execution, value)
         return value
 
+    # ------------------------------------------------------------------ upstream calls
+
+    def attach_upstream_backend(self, backend: UpstreamBackend) -> None:
+        """Route the guest's upstream calls to an external backend model.
+
+        The backend's responses (body + modelled latency) are nondeterministic
+        inputs: the recording hook logs each one with its execution timestamp,
+        so an auditor can replay the guest without the backend and still feed
+        it exactly what it saw (Section 4.5 applied to a service guest).
+        """
+        source = self.vm.nondet_source
+        if not isinstance(source, LiveNondeterminismSource):
+            raise VMError(
+                f"monitor {self.identity!r} has no live nondeterminism source "
+                f"to attach an upstream backend to")
+        source.attach_upstream_backend(backend)
+
+    def _on_upstream_call(self, execution, service: str, request: bytes,
+                          response: UpstreamResponse) -> None:
+        if self.config.record_replay_info:
+            self.recorder.record_upstream_call(execution, service, request,
+                                               response)
+
     # ------------------------------------------------------------------ timer
 
     def _timer_tick(self) -> None:
@@ -212,10 +237,13 @@ class AccountableVMM:
         """Record and deliver one asynchronous event to the guest."""
         if self.config.record_replay_info:
             self.recorder.record_guest_event(self.vm.execution_timestamp, event)
+        before = self.vm.execution_timestamp.instruction_count
         outputs = self.vm.deliver_event(event)
+        compute_seconds = self.perf.guest_cpu_for_instructions(
+            self.vm.execution_timestamp.instruction_count - before)
         self.stats.guest_events_delivered += 1
         self._charge_event_delivery()
-        self._handle_outputs(outputs)
+        self._handle_outputs(outputs, compute_seconds)
         return outputs
 
     def _charge_event_delivery(self) -> None:
@@ -223,10 +251,16 @@ class AccountableVMM:
 
     # ------------------------------------------------------------------ outputs
 
-    def _handle_outputs(self, outputs: List[Output]) -> None:
+    def _handle_outputs(self, outputs: List[Output],
+                        compute_seconds: float = 0.0) -> None:
+        """Emit guest outputs; ``compute_seconds`` is the modelled execution
+        time of the event handler that produced them, so a packet leaves the
+        machine only after the guest has "finished computing" it — that is
+        how guest work (cache hits vs. handler runs, upstream latency)
+        becomes visible in round-trip times."""
         for output in outputs:
             if isinstance(output, PacketOutput):
-                self._send_guest_packet(output)
+                self._send_guest_packet(output, compute_seconds)
             elif isinstance(output, FrameOutput):
                 self.stats.frames_rendered = output.frame_number
 
@@ -243,7 +277,8 @@ class AccountableVMM:
             return ""
         return self.network.allocate_message_id()
 
-    def _send_guest_packet(self, packet: PacketOutput) -> None:
+    def _send_guest_packet(self, packet: PacketOutput,
+                           compute_seconds: float = 0.0) -> None:
         """Log, sign and transmit a packet the guest produced."""
         message = NetworkMessage(source=self.identity, destination=packet.destination,
                                  payload=packet.payload, kind=MessageKind.DATA,
@@ -265,12 +300,15 @@ class AccountableVMM:
                 self.vm.execution_timestamp, packet.destination, payload_hash,
                 len(packet.payload), message.message_id)
         self.stats.messages_sent += 1
-        self._transmit(message, expect_ack=self.config.tamper_evident)
+        self._transmit(message, expect_ack=self.config.tamper_evident,
+                       extra_delay=compute_seconds)
 
-    def _transmit(self, message: NetworkMessage, expect_ack: bool) -> None:
+    def _transmit(self, message: NetworkMessage, expect_ack: bool,
+                  extra_delay: float = 0.0) -> None:
         if self.channel is None:
             return
-        delay = self.perf.outgoing_packet_delay(len(message.payload))
+        delay = self.perf.outgoing_packet_delay(len(message.payload)) \
+            + extra_delay
         if delay > 0:
             self.scheduler.schedule_after(
                 delay, lambda: self.channel.send(message, expect_ack=expect_ack),

@@ -17,10 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict
 
+from repro.crypto import hashing
 from repro.log.entries import EntryType, nondet_content, snapshot_content
 from repro.log.tamper_evident import TamperEvidentLog
 from repro.vm.events import GuestEvent, KeyboardInput, PacketDelivery, TimerInterrupt
 from repro.vm.execution import ExecutionTimestamp
+from repro.vm.machine import UpstreamResponse
 
 
 @dataclass
@@ -32,6 +34,7 @@ class RecorderStats:
     packets_in: int = 0
     packets_out: int = 0
     keyboard_inputs: int = 0
+    upstream_calls: int = 0
     snapshots: int = 0
     entries_written: int = 0
     bytes_written: int = 0
@@ -89,6 +92,28 @@ class ExecutionRecorder:
             event_kind="keyboard_input",
             execution_counter=execution.instruction_count,
             data={"command": event.command, "device": event.device,
+                  "branch_counter": execution.branch_count},
+        ))
+
+    def record_upstream_call(self, execution: ExecutionTimestamp, service: str,
+                             request: bytes, response: UpstreamResponse) -> None:
+        """Record the response an external backend returned to the guest.
+
+        The request itself is deterministic guest output, so only its hash is
+        logged (enough for replay to verify the reference guest asked the
+        same question); the response body and its modelled latency are the
+        nondeterministic input replay must re-serve.
+        """
+        if not self.enabled:
+            return
+        self.stats.upstream_calls += 1
+        self._append(EntryType.NONDET, nondet_content(
+            event_kind="upstream_call",
+            execution_counter=execution.instruction_count,
+            data={"service": service,
+                  "request_hash": hashing.hash_bytes(request).hex(),
+                  "body": response.body.hex(),
+                  "latency_cycles": response.latency_cycles,
                   "branch_counter": execution.branch_count},
         ))
 

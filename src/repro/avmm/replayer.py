@@ -30,7 +30,7 @@ from repro.vm.events import GuestEvent, KeyboardInput, PacketDelivery, TimerInte
 from repro.vm.execution import ExecutionTimestamp
 from repro.vm.guest import PacketOutput
 from repro.vm.image import VMImage
-from repro.vm.machine import NondeterminismSource, VirtualMachine
+from repro.vm.machine import NondeterminismSource, UpstreamResponse, VirtualMachine
 from repro.vm.snapshot import IncrementalStateHasher
 
 
@@ -60,6 +60,7 @@ class ReplayReport:
     entries_replayed: int = 0
     events_injected: int = 0
     clock_reads_served: int = 0
+    upstream_calls_served: int = 0
     outputs_checked: int = 0
     snapshots_checked: int = 0
     instructions_executed: int = 0
@@ -92,6 +93,16 @@ class _InjectItem:
 
 
 @dataclass
+class _UpstreamItem:
+    sequence: int
+    expected_instructions: int
+    service: str
+    request_hash: str
+    body: bytes
+    latency_cycles: int
+
+
+@dataclass
 class _OutputItem:
     sequence: int
     destination: str
@@ -107,12 +118,22 @@ class _SnapshotItem:
 
 
 class _ReplayClockSource(NondeterminismSource):
-    """Serves clock reads from the recorded log and checks their timing."""
+    """Serves recorded nondeterministic inputs and checks their timing.
 
-    def __init__(self, items: List[_ClockItem]) -> None:
+    Clock reads and upstream-call responses are both re-served from the log
+    in their recorded order; the first read or call that happens at a
+    different execution point — or asks an upstream service a different
+    question — than the recording is a divergence.
+    """
+
+    def __init__(self, items: List[_ClockItem],
+                 upstream_items: Optional[List[_UpstreamItem]] = None) -> None:
         self._items = items
         self._index = 0
+        self._upstream_items = upstream_items or []
+        self._upstream_index = 0
         self.served = 0
+        self.upstream_served = 0
         self.divergence: Optional[Divergence] = None
 
     def clock_read(self, timestamp: ExecutionTimestamp) -> float:
@@ -134,9 +155,43 @@ class _ReplayClockSource(NondeterminismSource):
                 actual=timestamp.instruction_count)
         return item.value
 
+    def upstream_call(self, timestamp: ExecutionTimestamp, service: str,
+                      request: bytes) -> UpstreamResponse:
+        if self._upstream_index >= len(self._upstream_items):
+            if self.divergence is None:
+                self.divergence = Divergence(
+                    reason="guest performed an upstream call that is not in the log",
+                    actual=(service, timestamp.instruction_count))
+            return UpstreamResponse(body=b"", latency_cycles=0)
+        item = self._upstream_items[self._upstream_index]
+        self._upstream_index += 1
+        self.upstream_served += 1
+        if item.expected_instructions != timestamp.instruction_count \
+                and self.divergence is None:
+            self.divergence = Divergence(
+                reason="upstream call occurred at a different execution point "
+                       "than recorded",
+                sequence=item.sequence,
+                expected=item.expected_instructions,
+                actual=timestamp.instruction_count)
+        actual_hash = hashing.hash_bytes(request).hex()
+        if (item.service != service or item.request_hash != actual_hash) \
+                and self.divergence is None:
+            self.divergence = Divergence(
+                reason="upstream request differs from the recorded one",
+                sequence=item.sequence,
+                expected=(item.service, item.request_hash),
+                actual=(service, actual_hash))
+        return UpstreamResponse(body=item.body,
+                                latency_cycles=item.latency_cycles)
+
     @property
     def remaining(self) -> int:
         return len(self._items) - self._index
+
+    @property
+    def upstream_remaining(self) -> int:
+        return len(self._upstream_items) - self._upstream_index
 
 
 class DeterministicReplayer:
@@ -165,15 +220,15 @@ class DeterministicReplayer:
         report = ReplayReport(machine=segment.machine,
                               entries_replayed=len(segment.entries))
         try:
-            clock_items, schedule, outputs, payloads = self._build_schedule(
-                segment, carried_payloads)
+            clock_items, upstream_items, schedule, outputs, payloads = \
+                self._build_schedule(segment, carried_payloads)
         except ReplayInputError as exc:
             # A log whose replay stream references messages that were never
             # logged is inconsistent by construction (Section 4.4, "Detecting
             # inconsistencies"): report it as a divergence rather than failing.
             report.divergence = Divergence(reason=str(exc))
             return report
-        clock_source = _ReplayClockSource(clock_items)
+        clock_source = _ReplayClockSource(clock_items, upstream_items)
 
         vm = VirtualMachine(self.reference_image, nondet_source=clock_source)
         output_cursor = 0
@@ -234,9 +289,10 @@ class DeterministicReplayer:
                 report.divergence = clock_source.divergence
                 return report
 
-        # All inputs replayed: there must be no unmatched recorded outputs or
-        # clock reads left over.
+        # All inputs replayed: there must be no unmatched recorded outputs,
+        # clock reads or upstream calls left over.
         report.clock_reads_served = clock_source.served
+        report.upstream_calls_served = clock_source.upstream_served
         report.instructions_executed = vm.execution_timestamp.instruction_count
         if output_cursor < len(outputs):
             report.divergence = Divergence(
@@ -248,6 +304,11 @@ class DeterministicReplayer:
             report.divergence = Divergence(
                 reason="log records clock reads the reference execution never performed")
             return report
+        if clock_source.upstream_remaining > 0:
+            report.divergence = Divergence(
+                reason="log records upstream calls the reference execution "
+                       "never performed")
+            return report
         if clock_source.divergence is not None:
             report.divergence = clock_source.divergence
         return report
@@ -257,9 +318,11 @@ class DeterministicReplayer:
     def _build_schedule(self, segment: LogSegment,
                         carried_payloads: Optional[Dict[str, bytes]] = None
                         ) -> Tuple[
-            List[_ClockItem], List[Any], List[_OutputItem], Dict[str, bytes]]:
-        """Split the log into clock reads, injections/snapshots and expected outputs."""
+            List[_ClockItem], List[_UpstreamItem], List[Any], List[_OutputItem],
+            Dict[str, bytes]]:
+        """Split the log into served inputs, injections/snapshots and outputs."""
         clock_items: List[_ClockItem] = []
+        upstream_items: List[_UpstreamItem] = []
         schedule: List[Any] = []
         outputs: List[_OutputItem] = []
         payloads: Dict[str, bytes] = dict(carried_payloads or {})
@@ -310,12 +373,21 @@ class DeterministicReplayer:
                         expected_instructions=int(content["execution_counter"]),
                         event=KeyboardInput(command=str(data.get("command", "")),
                                             device=str(data.get("device", "keyboard")))))
+                elif kind == "upstream_call":
+                    data = content.get("data", {})
+                    upstream_items.append(_UpstreamItem(
+                        sequence=entry.sequence,
+                        expected_instructions=int(content["execution_counter"]),
+                        service=str(data.get("service", "")),
+                        request_hash=str(data.get("request_hash", "")),
+                        body=bytes.fromhex(str(data.get("body", ""))),
+                        latency_cycles=int(data.get("latency_cycles", 0))))
             elif entry.entry_type is EntryType.SNAPSHOT:
                 schedule.append(_SnapshotItem(
                     sequence=entry.sequence,
                     snapshot_id=int(content["snapshot_id"]),
                     state_root=str(content["state_root"])))
-        return clock_items, schedule, outputs, payloads
+        return clock_items, upstream_items, schedule, outputs, payloads
 
     @staticmethod
     def _payload_from_recv(entry: LogEntry) -> Dict[str, bytes]:

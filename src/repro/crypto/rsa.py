@@ -60,16 +60,35 @@ class RsaPublicKey:
 
 @dataclass(frozen=True)
 class RsaPrivateKey:
-    """RSA private key; carries the matching public key."""
+    """RSA private key; carries the matching public key.
+
+    When the prime factorisation is available (keys made by
+    :func:`generate_keypair`), signing uses the CRT decomposition — two
+    half-size exponentiations plus a recombination, ~3-4x faster than a
+    single ``pow(m, d, n)`` and byte-identical in output.  Keys restored
+    without the factors (``prime_p is None``) fall back to the direct form.
+    """
 
     modulus: int
     exponent: int  # private exponent d
     public: RsaPublicKey
+    prime_p: int | None = None
+    prime_q: int | None = None
+    exponent_dp: int | None = None  # d mod (p-1)
+    exponent_dq: int | None = None  # d mod (q-1)
+    q_inverse: int | None = None    # q^-1 mod p
 
     def sign(self, message: bytes) -> bytes:
         """Sign ``message`` (hash-then-sign)."""
         digest_int = encode_digest(message, self.modulus)
-        sig_int = pow(digest_int, self.exponent, self.modulus)
+        if self.prime_p is not None:
+            sig_p = pow(digest_int % self.prime_p, self.exponent_dp, self.prime_p)
+            sig_q = pow(digest_int % self.prime_q, self.exponent_dq, self.prime_q)
+            # Garner recombination: sig = sig_q + q * ((sig_p - sig_q) / q mod p)
+            sig_int = sig_q + self.prime_q * (
+                ((sig_p - sig_q) * self.q_inverse) % self.prime_p)
+        else:
+            sig_int = pow(digest_int, self.exponent, self.modulus)
         return sig_int.to_bytes(self.public.byte_length(), "big")
 
 
@@ -95,7 +114,11 @@ def generate_keypair(bits: int = 768, seed: int | None = None) -> RsaPrivateKey:
         except ValueError:
             continue  # e not invertible mod phi; try new primes
         public = RsaPublicKey(modulus=n, exponent=_PUBLIC_EXPONENT, bits=bits)
-        return RsaPrivateKey(modulus=n, exponent=d, public=public)
+        return RsaPrivateKey(
+            modulus=n, exponent=d, public=public,
+            prime_p=p, prime_q=q,
+            exponent_dp=d % (p - 1), exponent_dq=d % (q - 1),
+            q_inverse=pow(q, -1, p))
     raise KeyGenerationError("failed to generate an RSA key pair")
 
 

@@ -172,3 +172,15 @@ class SimulationError(ReproError):
 
 class SchedulingError(SimulationError):
     """An event was scheduled in the past or the scheduler was misused."""
+
+
+# ---------------------------------------------------------------------------
+# Measurement / metrics
+# ---------------------------------------------------------------------------
+
+class MetricsError(ReproError):
+    """Base class for measurement-bookkeeping failures."""
+
+
+class DuplicateRequestError(MetricsError):
+    """A request id was reused while the first request was still outstanding."""

@@ -22,9 +22,10 @@ the examples and EXPERIMENTS.md use the same code paths.
 Beyond the paper: :mod:`repro.experiments.parallel_audit` (the batch-audit
 engine speedup), :mod:`repro.experiments.archive_ingest` (the durable
 archive + audit-ingest pipeline lifecycle),
-:mod:`repro.experiments.stream_audit` (streaming vs materializing audit)
-and :mod:`repro.experiments.codec_bench` (the v1 vs v2 wire-codec
-head-to-head).
+:mod:`repro.experiments.stream_audit` (streaming vs materializing audit),
+:mod:`repro.experiments.codec_bench` (the v1 vs v2 wire-codec
+head-to-head) and :mod:`repro.experiments.webload` (the accountable
+web service under open-loop heavy-tailed load).
 """
 
 from repro.experiments.harness import GameSession, GameSessionSettings, format_table

@@ -34,7 +34,6 @@ from repro.audit.stream import stream_audit
 from repro.audit.verdict import AuditResult
 from repro.experiments.harness import format_table
 from repro.experiments.parallel_audit import build_fleet
-from repro.network.message import reset_message_ids
 from repro.obs import Observability, validate_chrome_trace
 from repro.service.ingest import AuditIngestService
 from repro.store.archive import LogArchive
@@ -249,9 +248,7 @@ def _run_overhead(duration: float, payload_bytes: int,
         obs = Observability.make() if mode == "on" else None
         archive_dir = workdir / mode / "archive"
         # Message ids are allocated per network instance, so each mode's
-        # fresh fleet starts from m0000000001 on its own; the reset shim
-        # stays for the fallback counter (direct NetworkMessage use).
-        reset_message_ids()
+        # fresh fleet starts from m0000000001 on its own — no global reset.
         started = time.perf_counter()
         fleet = build_fleet(
             num_machines=2, duration=duration, seed=seed,

@@ -37,12 +37,14 @@ class PacketForgingAdversary:
         self._original_send = monitor._send_guest_packet  # noqa: SLF001 - adversary
         monitor._send_guest_packet = self._forged_send    # noqa: SLF001 - adversary
 
-    def _forged_send(self, packet: PacketOutput) -> None:
+    def _forged_send(self, packet: PacketOutput,
+                     compute_seconds: float = 0.0) -> None:
         forged_payload = self.transform(packet.payload)
         if forged_payload != packet.payload:
             self.packets_forged += 1
         self._original_send(PacketOutput(destination=packet.destination,
-                                         payload=forged_payload))
+                                         payload=forged_payload),
+                            compute_seconds)
 
     def detach(self) -> None:
         """Stop forging (restores the monitor's original send path)."""

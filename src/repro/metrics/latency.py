@@ -1,15 +1,24 @@
-"""Round-trip-time measurement (Figure 5).
+"""Round-trip-time measurement (Figure 5 and the open-loop web workload).
 
-The experiment sends echo requests between two machines and records when the
-reply arrives.  :class:`LatencyRecorder` timestamps request/response pairs on
-simulated time; :func:`summarize_rtts` produces the median and the 5th/95th
-percentiles the paper plots.
+The experiments send requests between machines and record when the reply
+arrives.  :class:`LatencyRecorder` timestamps request/response pairs on
+simulated time; :func:`summarize_rtts` produces the median, the 5th/95th
+percentiles the paper plots, and the tail percentiles (p99/p999) that an
+open-loop load harness reports.
+
+Samples are keyed by ``(client, request_id)`` so concurrent clients can use
+colliding ids; reusing an id while the first request is still outstanding
+raises :class:`~repro.errors.DuplicateRequestError` instead of silently
+dropping the first round trip, and replies that match no outstanding request
+are counted (``unmatched_received``) rather than ignored.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DuplicateRequestError
 
 
 @dataclass
@@ -19,6 +28,7 @@ class RttSample:
     request_id: str
     sent_at: float
     received_at: Optional[float] = None
+    client: str = ""
 
     @property
     def rtt(self) -> Optional[float]:
@@ -28,18 +38,36 @@ class RttSample:
 
 
 class LatencyRecorder:
-    """Tracks outstanding echo requests and completed round trips."""
+    """Tracks outstanding requests and completed round trips."""
 
     def __init__(self) -> None:
-        self._samples: Dict[str, RttSample] = {}
+        self._samples: Dict[Tuple[str, str], RttSample] = {}
+        self._unmatched_received = 0
 
-    def note_sent(self, request_id: str, time: float) -> None:
-        self._samples[request_id] = RttSample(request_id=request_id, sent_at=time)
+    def note_sent(self, request_id: str, time: float, client: str = "") -> None:
+        """Record that ``client`` sent ``request_id`` at ``time``.
 
-    def note_received(self, request_id: str, time: float) -> None:
-        sample = self._samples.get(request_id)
+        Raises :class:`~repro.errors.DuplicateRequestError` if the same
+        (client, id) pair already has a sample — completed or outstanding —
+        so open-loop id collisions surface instead of corrupting the data.
+        """
+        key = (client, request_id)
+        if key in self._samples:
+            state = ("outstanding" if self._samples[key].received_at is None
+                     else "completed")
+            raise DuplicateRequestError(
+                f"request id {request_id!r} from client {client!r} already has "
+                f"a {state} sample")
+        self._samples[key] = RttSample(request_id=request_id, sent_at=time,
+                                       client=client)
+
+    def note_received(self, request_id: str, time: float, client: str = "") -> None:
+        """Record the reply for ``request_id``; count it if nothing matches."""
+        sample = self._samples.get((client, request_id))
         if sample is not None and sample.received_at is None:
             sample.received_at = time
+        else:
+            self._unmatched_received += 1
 
     @property
     def completed(self) -> List[RttSample]:
@@ -48,6 +76,11 @@ class LatencyRecorder:
     @property
     def pending(self) -> int:
         return sum(1 for s in self._samples.values() if s.received_at is None)
+
+    @property
+    def unmatched_received(self) -> int:
+        """Replies that matched no outstanding request (duplicate or unknown)."""
+        return self._unmatched_received
 
     def rtts(self) -> List[float]:
         """Completed round-trip times, in the order the requests were sent."""
@@ -63,12 +96,22 @@ class RttSummary:
     p05: float
     p95: float
     mean: float
+    p50: float = 0.0
+    p99: float = 0.0
+    p999: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean, "p05": self.p05,
+                "p50": self.p50, "median": self.median, "p95": self.p95,
+                "p99": self.p99, "p999": self.p999}
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
     """Linear-interpolation percentile of ``values`` (fraction in [0, 1])."""
     if not values:
         raise ValueError("cannot take the percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"percentile fraction out of range: {fraction}")
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
@@ -83,10 +126,14 @@ def summarize_rtts(rtts: Sequence[float]) -> RttSummary:
     """Summary statistics for a set of round-trip times."""
     if not rtts:
         raise ValueError("no round trips completed")
+    p50 = percentile(rtts, 0.5)
     return RttSummary(
         count=len(rtts),
-        median=percentile(rtts, 0.5),
+        median=p50,
         p05=percentile(rtts, 0.05),
         p95=percentile(rtts, 0.95),
         mean=sum(rtts) / len(rtts),
+        p50=p50,
+        p99=percentile(rtts, 0.99),
+        p999=percentile(rtts, 0.999),
     )

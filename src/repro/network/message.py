@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -27,7 +28,7 @@ _message_counter = itertools.count(1)
 
 
 def reset_message_ids() -> None:
-    """Restart the *fallback* message-id counter (compatibility shim).
+    """Restart the *fallback* message-id counter (deprecated shim).
 
     Message ids are normally allocated per network instance
     (:meth:`repro.network.simnet.SimulatedNetwork.allocate_message_id`), so
@@ -37,7 +38,15 @@ def reset_message_ids() -> None:
     network (unit tests, ad-hoc envelopes); this shim restarts it for
     callers that predate per-network allocation.  Never call it
     mid-simulation: colliding ids would confuse ack matching.
+
+    .. deprecated:: every in-tree caller has migrated to per-network ids;
+       the shim warns and will be removed once out-of-tree users catch up.
     """
+    warnings.warn(
+        "reset_message_ids() is deprecated: message ids are allocated "
+        "per network instance (SimulatedNetwork.allocate_message_id); "
+        "the process-global fallback counter no longer needs resetting",
+        DeprecationWarning, stacklevel=2)
     global _message_counter
     _message_counter = itertools.count(1)
 

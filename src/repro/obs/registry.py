@@ -100,9 +100,20 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        return {"count": self.count, "sum": self.sum, "max": self.max,
-                "buckets": dict(zip([*map(str, self.bounds), "+inf"],
-                                    self.bucket_counts))}
+        return _histogram_dict(self.bounds, self.bucket_counts, self.count,
+                               self.sum, self.max)
+
+
+def _histogram_dict(bounds: Sequence[float], bucket_counts: Sequence[int],
+                    count: int, total: float, maximum: float) -> Dict[str, object]:
+    """The one histogram-snapshot schema: every bound key plus ``+inf``.
+
+    Shared by live and null histograms so JSON consumers always see a
+    fully-keyed bucket map — an empty histogram differs from a populated
+    one only in its counts, never in its shape.
+    """
+    return {"count": count, "sum": total, "max": maximum,
+            "buckets": dict(zip([*map(str, bounds), "+inf"], bucket_counts))}
 
 
 # -- the disabled path ------------------------------------------------------------
@@ -150,13 +161,14 @@ class _NullHistogram:
     count = 0
     max = 0.0
     mean = 0.0
-    bounds: Tuple[float, ...] = ()
+    bounds: Tuple[float, ...] = DEFAULT_BUCKETS
 
     def observe(self, value: float) -> None:
         pass
 
     def to_dict(self) -> Dict[str, object]:
-        return {"count": 0, "sum": 0.0, "max": 0.0, "buckets": {}}
+        return _histogram_dict(self.bounds, [0] * (len(self.bounds) + 1),
+                               0, 0.0, 0.0)
 
     def __reduce__(self):
         return (_null_histogram, ())

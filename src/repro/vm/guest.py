@@ -131,6 +131,16 @@ class MachineApi:
         """Request periodic timer interrupts every ``interval`` virtual seconds."""
         raise NotImplementedError
 
+    def upstream_call(self, service: str, request: bytes) -> bytes:
+        """Synchronous call to an external backend.  Nondeterministic input.
+
+        The response body and its modelled latency come from outside the
+        deterministic envelope (a database, a payment API, ...), so the AVMM
+        records both with the call's execution timestamp and replay serves
+        the recorded response — the guest cannot tell the difference.
+        """
+        raise NotImplementedError
+
 
 # ---------------------------------------------------------------------------
 # Guest program

@@ -11,6 +11,7 @@ the same outputs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import GuestError, VMError
@@ -29,6 +30,25 @@ _COST_SEND_PACKET = 20
 _COST_RENDER_BASE = 50
 _COST_DISK_OP = 10
 _COST_EVENT_DELIVERY = 10
+_COST_UPSTREAM_CALL = 30
+
+
+@dataclass(frozen=True)
+class UpstreamResponse:
+    """What an external backend returned to an upstream call.
+
+    ``latency_cycles`` is the backend's modelled service time expressed in
+    abstract guest cycles.  It is charged to the instruction counter (and
+    therefore recorded), so replay advances the execution timestamp exactly
+    as the original run did even though the backend itself is gone.
+    """
+
+    body: bytes
+    latency_cycles: int = 0
+
+
+#: an external backend: (service, request) -> UpstreamResponse
+UpstreamBackend = Callable[[str, bytes], UpstreamResponse]
 
 
 class NondeterminismSource:
@@ -37,6 +57,12 @@ class NondeterminismSource:
     def clock_read(self, timestamp: ExecutionTimestamp) -> float:
         """Value returned to the guest for a clock read at ``timestamp``."""
         raise NotImplementedError
+
+    def upstream_call(self, timestamp: ExecutionTimestamp, service: str,
+                      request: bytes) -> UpstreamResponse:
+        """Response served to the guest for an upstream call at ``timestamp``."""
+        raise VMError(
+            f"no upstream backend available for service {service!r}")
 
 
 class LiveNondeterminismSource(NondeterminismSource):
@@ -53,18 +79,33 @@ class LiveNondeterminismSource(NondeterminismSource):
                  instruction_seconds: float = 2.0e-8) -> None:
         self._host_clock = host_clock
         self._instruction_seconds = instruction_seconds
+        self._upstream_backend: Optional[UpstreamBackend] = None
 
     def clock_read(self, timestamp: ExecutionTimestamp) -> float:
         return self._host_clock() + timestamp.instruction_count * self._instruction_seconds
+
+    def attach_upstream_backend(self, backend: UpstreamBackend) -> None:
+        """Route the guest's upstream calls to ``backend``."""
+        self._upstream_backend = backend
+
+    def upstream_call(self, timestamp: ExecutionTimestamp, service: str,
+                      request: bytes) -> UpstreamResponse:
+        if self._upstream_backend is None:
+            raise VMError(
+                f"no upstream backend attached for service {service!r}")
+        return self._upstream_backend(service, request)
 
 
 class FixedNondeterminismSource(NondeterminismSource):
     """Testing source that returns a constant or scripted sequence of values."""
 
-    def __init__(self, values: Optional[List[float]] = None, default: float = 0.0) -> None:
+    def __init__(self, values: Optional[List[float]] = None, default: float = 0.0,
+                 upstream_responses: Optional[List[UpstreamResponse]] = None) -> None:
         self._values = list(values or [])
         self._default = default
         self._index = 0
+        self._upstream = list(upstream_responses or [])
+        self._upstream_index = 0
 
     def clock_read(self, timestamp: ExecutionTimestamp) -> float:
         if self._index < len(self._values):
@@ -72,6 +113,14 @@ class FixedNondeterminismSource(NondeterminismSource):
             self._index += 1
             return value
         return self._default
+
+    def upstream_call(self, timestamp: ExecutionTimestamp, service: str,
+                      request: bytes) -> UpstreamResponse:
+        if self._upstream_index < len(self._upstream):
+            response = self._upstream[self._upstream_index]
+            self._upstream_index += 1
+            return response
+        return UpstreamResponse(body=b"", latency_cycles=0)
 
 
 class VirtualMachine:
@@ -92,6 +141,8 @@ class VirtualMachine:
         self._output_buffer: List[Output] = []
         self._api = _Api(self)
         self._clock_read_hook: Optional[Callable[[ExecutionTimestamp, float], float]] = None
+        self._upstream_call_hook: Optional[
+            Callable[[ExecutionTimestamp, str, bytes, UpstreamResponse], None]] = None
         #: dirty tracking for copy-on-write snapshots (Section 4.4): which
         #: top-level state keys changed since the last snapshot
         self._dirty_keys: set[str] = set()
@@ -157,6 +208,17 @@ class VirtualMachine:
         delay optimisation of Section 6.5.
         """
         self._clock_read_hook = hook
+
+    def set_upstream_call_hook(
+            self, hook: Optional[Callable[
+                [ExecutionTimestamp, str, bytes, UpstreamResponse], None]]) -> None:
+        """Install a hook invoked on every upstream call.
+
+        The hook receives the execution timestamp, the service name, the
+        request bytes and the response the source produced.  The AVMM uses it
+        to record the response as a nondeterministic input.
+        """
+        self._upstream_call_hook = hook
 
     def _drain_outputs(self) -> List[Output]:
         outputs, self._output_buffer = self._output_buffer, []
@@ -268,6 +330,21 @@ class VirtualMachine:
             raise GuestError(f"cannot consume a negative number of cycles: {cycles}")
         self._instruction_count += cycles
 
+    def _do_upstream_call(self, service: str, request: bytes) -> bytes:
+        # The call cost is charged *before* the timestamp is taken, so the
+        # recorded execution counter pins the exact point at which the source
+        # was consulted — replay re-queries at the same counter.
+        self._instruction_count += _COST_UPSTREAM_CALL + len(request) // 64
+        timestamp = self.execution_timestamp
+        response = self.nondet_source.upstream_call(timestamp, service, request)
+        if self._upstream_call_hook is not None:
+            self._upstream_call_hook(timestamp, service, request, response)
+        # The backend's modelled latency (recorded in the response) is charged
+        # as guest cycles, so replay advances the counter identically without
+        # the backend being present.
+        self._instruction_count += response.latency_cycles + len(response.body) // 64
+        return response.body
+
     def _do_set_timer(self, interval: float) -> None:
         self._instruction_count += 1
         self._dirty_keys.add("timer_interval")
@@ -300,3 +377,6 @@ class _Api(MachineApi):
 
     def set_timer(self, interval: float) -> None:
         self._vm._do_set_timer(interval)
+
+    def upstream_call(self, service: str, request: bytes) -> bytes:
+        return self._vm._do_upstream_call(service, request)

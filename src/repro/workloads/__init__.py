@@ -5,11 +5,23 @@
   setup of the spot-checking experiment (Section 6.12, Figure 9).
 * :mod:`repro.workloads.echo` — a trivial echo responder used for the ping
   round-trip-time measurements (Figure 5).
+* :mod:`repro.workloads.webservice` — the accountable HTTP-style API
+  service (routed endpoints, TTL response cache, recorded upstream-call
+  nondeterminism) driven open-loop by :mod:`repro.experiments.webload`
+  (see ``docs/webservice-workload.md``).
 """
 
 from repro.workloads.echo import EchoGuest, make_echo_image
 from repro.workloads.kvstore import KvServerGuest, make_kvserver_image
 from repro.workloads.sqlbench import SqlBenchClientGuest, SqlBenchSettings, make_sqlbench_image
+from repro.workloads.webservice import (
+    SimulatedUpstreamBackend,
+    WebClientGuest,
+    WebServiceGuest,
+    WebServiceSettings,
+    make_webclient_image,
+    make_webservice_image,
+)
 
 __all__ = [
     "EchoGuest",
@@ -19,4 +31,10 @@ __all__ = [
     "SqlBenchClientGuest",
     "SqlBenchSettings",
     "make_sqlbench_image",
+    "SimulatedUpstreamBackend",
+    "WebClientGuest",
+    "WebServiceGuest",
+    "WebServiceSettings",
+    "make_webclient_image",
+    "make_webservice_image",
 ]

@@ -5,7 +5,7 @@ import pytest
 from repro.crypto import hashing
 from repro.crypto.keys import CertificateAuthority, KeyStore
 from repro.crypto.primes import generate_prime, is_probable_prime
-from repro.crypto.rsa import generate_keypair
+from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.crypto.signatures import NullScheme, RsaScheme, SimulatedEsignScheme, get_scheme
 from repro.errors import CertificateError, KeyGenerationError, SignatureError
 
@@ -91,6 +91,16 @@ class TestRsa:
 
     def test_signature_length_matches_modulus(self, keypair):
         assert len(keypair.sign(b"x")) == keypair.public.byte_length()
+
+    def test_crt_signature_matches_direct_exponentiation(self, keypair):
+        # Generated keys carry CRT factors; a key stripped down to (n, d)
+        # must produce byte-identical signatures on the slow path.
+        assert keypair.prime_p is not None
+        plain = RsaPrivateKey(modulus=keypair.modulus,
+                              exponent=keypair.exponent,
+                              public=keypair.public)
+        for message in (b"", b"hello", b"x" * 1000):
+            assert keypair.sign(message) == plain.sign(message)
 
     def test_deterministic_keygen(self):
         a = generate_keypair(bits=512, seed=5)

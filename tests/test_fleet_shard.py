@@ -222,11 +222,13 @@ class TestPerNetworkMessageIds:
                           for machine in fleet.machines})
         assert heads[0] == heads[1]
 
-    def test_reset_shim_still_governs_fallback_counter(self):
+    def test_reset_shim_still_governs_fallback_counter_but_warns(self):
         from repro.network.message import reset_message_ids
-        reset_message_ids()
+        with pytest.warns(DeprecationWarning, match="per network instance"):
+            reset_message_ids()
         first = NetworkMessage(source="a", destination="b", payload=b"x")
-        reset_message_ids()
+        with pytest.warns(DeprecationWarning):
+            reset_message_ids()
         second = NetworkMessage(source="a", destination="b", payload=b"y")
         assert first.message_id == second.message_id
 

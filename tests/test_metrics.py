@@ -5,6 +5,7 @@ import pytest
 from repro.avmm.config import AvmmConfig, Configuration
 from repro.metrics.cpu import CpuModel
 from repro.metrics.framerate import FrameRateModel
+from repro.errors import DuplicateRequestError
 from repro.metrics.latency import LatencyRecorder, percentile, summarize_rtts
 from repro.metrics.logstats import LogGrowthSeries, log_content_breakdown
 from repro.metrics.perfmodel import CostParameters, PerfModel
@@ -123,6 +124,45 @@ class TestLatencyHelpers:
         assert summary.count == 3
         with pytest.raises(ValueError):
             summarize_rtts([])
+
+    def test_duplicate_request_id_rejected(self):
+        recorder = LatencyRecorder()
+        recorder.note_sent("a", 1.0)
+        with pytest.raises(DuplicateRequestError):
+            recorder.note_sent("a", 2.0)
+        # ...even after the first round trip completed: ids name one request.
+        recorder.note_received("a", 1.5)
+        with pytest.raises(DuplicateRequestError):
+            recorder.note_sent("a", 3.0)
+
+    def test_same_id_from_different_clients_is_distinct(self):
+        recorder = LatencyRecorder()
+        recorder.note_sent("a", 1.0, client="c1")
+        recorder.note_sent("a", 2.0, client="c2")
+        recorder.note_received("a", 1.5, client="c1")
+        recorder.note_received("a", 2.25, client="c2")
+        assert sorted(recorder.rtts()) == [0.25, 0.5]
+
+    def test_unknown_receive_is_counted_not_dropped(self):
+        recorder = LatencyRecorder()
+        recorder.note_received("ghost", 1.0)
+        assert recorder.unmatched_received == 1
+        assert recorder.rtts() == []
+
+    def test_summary_tail_percentiles(self):
+        values = [i / 1000.0 for i in range(1, 1001)]
+        summary = summarize_rtts(values)
+        assert summary.p50 == summary.median
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.p999
+        assert summary.p999 > summary.p99 > summary.p95
+        single = summarize_rtts([0.004])
+        assert single.p50 == single.p99 == single.p999 == 0.004
+
+    def test_percentile_fraction_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.1)
 
 
 class TestLogStats:

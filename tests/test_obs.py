@@ -59,6 +59,22 @@ class TestInstruments:
         hist.observe(1.0)
         assert hist.bucket_counts == [1, 0]
 
+    def test_empty_histogram_snapshot_has_full_bucket_schema(self):
+        # An empty histogram must emit the same bucket keys as a populated
+        # one — consumers key on bound labels, not on whether data arrived.
+        hist = Histogram("h", bounds=(0.01, 1.0))
+        empty = hist.to_dict()
+        assert empty["buckets"] == {"0.01": 0, "1.0": 0, "+inf": 0}
+        assert (empty["count"], empty["sum"], empty["max"]) == (0, 0.0, 0.0)
+        hist.observe(0.5)
+        assert set(hist.to_dict()["buckets"]) == set(empty["buckets"])
+
+    def test_null_histogram_snapshot_matches_real_schema(self):
+        real = Histogram("h").to_dict()
+        null = NULL_REGISTRY.histogram("h").to_dict()
+        assert set(null["buckets"]) == set(real["buckets"])
+        assert null["count"] == 0
+
 
 class TestRegistry:
     def test_instruments_are_cached_by_name(self):

@@ -37,7 +37,6 @@ from repro.experiments import adversary_matrix
 from repro.experiments import stream_audit as stream_audit_experiment
 from repro.experiments.observability import run_observed_fleet
 from repro.experiments.parallel_audit import build_fleet
-from repro.network.message import reset_message_ids
 from repro.obs import Observability
 from repro.service.ingest import AuditIngestService
 from repro.store.archive import LogArchive
@@ -170,9 +169,8 @@ class TestTelemetryDifferential:
         for label, obs in (("off", None),
                            ("on", Observability.make()),
                            ("sampled", Observability.make(sample_stride=7))):
-            # Message ids are a process-global counter; reset so every run
-            # records byte-identical logs and the comparison is exact.
-            reset_message_ids()
+            # Message ids are allocated per network instance, so every run
+            # records byte-identical logs without any global reset.
             matrix = ScenarioMatrix(duration=3.0, snapshot_interval=1.0,
                                     obs=obs)
             outcomes[label] = matrix.run_cell(spec).to_dict()
